@@ -1,0 +1,91 @@
+// Shared helpers for the figure/table benches: standard bench-sized
+// clusters, cached model training, and category precomputation (so quota
+// sweeps do not re-run GBDT inference for every configuration).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/category_model.h"
+#include "policy/adaptive.h"
+#include "sim/experiment.h"
+#include "trace/generator.h"
+
+namespace byom::bench {
+
+// Bench-sized generator config: smaller than production but large enough
+// that every figure's qualitative shape is stable.
+trace::GeneratorConfig bench_cluster_config(std::uint32_t cluster_id,
+                                            int num_pipelines = 20,
+                                            double days = 10.0);
+
+struct BenchCluster {
+  trace::TrainTestSplit split;
+  std::unique_ptr<sim::MethodFactory> factory;
+};
+
+// Builds (and trains the category model for) one bench cluster.
+// `categories` defaults to the paper's 15-class setup.
+BenchCluster make_bench_cluster(std::uint32_t cluster_id,
+                                int num_pipelines = 20, double days = 10.0,
+                                int categories = 15);
+
+// Model config used across benches (paper: 15 classes, <= 300 trees,
+// depth <= 6).
+core::CategoryModelConfig bench_model_config(int categories = 15);
+
+// Precomputed per-job categories: lets sweeps reuse one inference pass.
+class PrecomputedCategories {
+ public:
+  PrecomputedCategories(const core::CategoryModel& model,
+                        const trace::Trace& test, bool use_true_category);
+
+  policy::AdaptiveCategoryPolicy::CategoryFn fn() const;
+
+ private:
+  std::shared_ptr<const std::map<std::uint64_t, int>> categories_;
+};
+
+// Builds an AdaptiveRanking policy over precomputed categories.
+std::unique_ptr<policy::AdaptiveCategoryPolicy> make_precomputed_ranking(
+    const PrecomputedCategories& pre, const policy::AdaptiveConfig& config,
+    const std::string& name = "AdaptiveRanking");
+
+// Runs an arbitrary policy on a test trace under a byte capacity.
+sim::SimResult run_policy(policy::PlacementPolicy& policy,
+                          const trace::Trace& test,
+                          std::uint64_t capacity_bytes,
+                          bool record_outcomes = false);
+
+// Pretty header printed at the top of each bench's output.
+void print_header(const std::string& figure, const std::string& description,
+                  const std::string& paper_expectation);
+
+// Mixed framework/non-framework prototype deployment (Appendix C.1):
+// 4 HDD-suitable + 4 SSD-suitable framework pipelines and 10 + 10
+// non-framework workloads, ~1:1 byte footprint, run through the storage
+// substrate's CacheServer.
+struct MixedDeploymentResult {
+  // Savings in percent, per (method, workload-group) cell.
+  double tco_framework = 0.0, tco_non_framework = 0.0;
+  double tcio_framework = 0.0, tcio_non_framework = 0.0;
+  double runtime_framework = 0.0, runtime_non_framework = 0.0;
+};
+
+struct MixedDeployment {
+  std::vector<trace::Job> train;
+  std::vector<trace::Job> test;
+  std::uint64_t peak_bytes = 0;
+
+  // Builds the workload mix deterministically from `seed`.
+  static MixedDeployment generate(std::uint64_t seed);
+
+  // Replays the test phase under FirstFit or BYOM Adaptive Ranking.
+  MixedDeploymentResult run_first_fit(double quota) const;
+  MixedDeploymentResult run_adaptive_ranking(double quota) const;
+};
+
+}  // namespace byom::bench

@@ -1,0 +1,78 @@
+// Figure 1: "Workloads show vastly different storage patterns."
+// Space usage (PiB in the paper; GiB here) and job lifetime over 12 hours
+// for two contrasting workloads. The point being reproduced: the two
+// workloads differ by orders of magnitude in both dimensions and fluctuate
+// on different rhythms.
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+using namespace byom;
+
+namespace {
+
+struct WorkloadSeries {
+  common::IntervalSeries space;
+  std::map<int, common::RunningStats> lifetime_by_hour;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 1: workload diversity",
+      "hourly space usage (GiB) and mean job lifetime (s) for two workloads",
+      "orders-of-magnitude spread between workloads in both dimensions");
+
+  auto cfg = bench::bench_cluster_config(0, 40, 1.0);
+  cfg.duration = 12.0 * 3600.0;
+  const auto trace = trace::generate_cluster_trace(cfg);
+
+  // Workload 0: the db-query pipeline family (hot, small, short-lived).
+  // Workload 1: the ML-checkpoint family (cold, huge, long-lived).
+  WorkloadSeries streaming, checkpoint;
+  for (const auto& j : trace.jobs()) {
+    WorkloadSeries* series = nullptr;
+    if (j.pipeline_name.find("dbquery") != std::string::npos ||
+        j.pipeline_name.find("compressup") != std::string::npos) {
+      series = &streaming;
+    } else if (j.pipeline_name.find("mlckpt") != std::string::npos ||
+               j.pipeline_name.find("vidproc") != std::string::npos ||
+               j.pipeline_name.find("trainckpt") != std::string::npos) {
+      series = &checkpoint;
+    }
+    if (series == nullptr) continue;
+    series->space.add(j.arrival_time, j.end_time(),
+                      static_cast<double>(j.peak_bytes));
+    series->lifetime_by_hour[static_cast<int>(j.arrival_time / 3600.0)]
+        .add(j.lifetime);
+  }
+
+  std::printf(
+      "hour,workload0_space_gib,workload1_space_gib,"
+      "workload0_lifetime_s,workload1_lifetime_s\n");
+  for (int hour = 0; hour < 12; ++hour) {
+    const double t = (hour + 0.5) * 3600.0;
+    std::printf("%d,%.3f,%.3f,%.1f,%.1f\n", hour,
+                common::as_gib(static_cast<std::uint64_t>(
+                    streaming.space.at(t))),
+                common::as_gib(static_cast<std::uint64_t>(
+                    checkpoint.space.at(t))),
+                streaming.lifetime_by_hour[hour].mean(),
+                checkpoint.lifetime_by_hour[hour].mean());
+  }
+
+  const double space_ratio =
+      checkpoint.space.peak() / std::max(streaming.space.peak(), 1.0);
+  common::RunningStats life0, life1;
+  for (auto& [h, s] : streaming.lifetime_by_hour) life0.merge(s);
+  for (auto& [h, s] : checkpoint.lifetime_by_hour) life1.merge(s);
+  std::printf("# peak space ratio (ckpt/stream): %.1fx\n", space_ratio);
+  std::printf("# mean lifetime ratio (ckpt/stream): %.1fx\n",
+              life1.mean() / std::max(life0.mean(), 1.0));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 4: I/O density and TCO savings of each job, with the oracle's
+// placement decision, under different SSD quotas. Reproduced findings:
+//   * negative-TCO-saving jobs are never selected,
+//   * at tight quotas only the highest-I/O-density jobs are selected,
+//   * as the quota grows, lower-density jobs join the selection.
+#include <cstdio>
+
+#include "common.h"
+#include "common/stats.h"
+#include "oracle/greedy_oracle.h"
+
+using namespace byom;
+
+int main() {
+  bench::print_header(
+      "Figure 4: oracle decisions on the (I/O density, TCO saving) plane",
+      "per-quota selection summary + a point sample (quota,density,saving,"
+      "on_ssd)",
+      "selected-density percentiles shift downward as quota grows; no "
+      "negative-saving job is ever selected");
+
+  auto cfg = bench::bench_cluster_config(0);
+  const auto trace = trace::generate_cluster_trace(cfg);
+  const auto split = trace::split_train_test(trace);
+  const cost::CostModel model(cfg.rates);
+
+  std::printf(
+      "quota,selected,median_density_selected,p10_density_selected,"
+      "negative_selected\n");
+  for (double quota : {0.01, 0.1, 0.5}) {
+    const auto cap = sim::quota_capacity(split.test, quota);
+    const auto result = oracle::solve_greedy(
+        split.test.jobs(), cap, oracle::Objective::kTco, model);
+    std::vector<double> selected_density;
+    std::size_t negative_selected = 0;
+    for (std::size_t i = 0; i < split.test.size(); ++i) {
+      if (!result.on_ssd[i]) continue;
+      const auto& j = split.test.jobs()[i];
+      selected_density.push_back(j.io_density);
+      if (j.tco_saving() < 0) ++negative_selected;
+    }
+    std::printf("%.2f,%zu,%.1f,%.1f,%zu\n", quota, result.num_selected,
+                common::percentile(selected_density, 0.5),
+                common::percentile(selected_density, 0.1),
+                negative_selected);
+  }
+
+  // Point sample for the scatter (every 40th job at quota 0.1).
+  const auto cap = sim::quota_capacity(split.test, 0.1);
+  const auto result = oracle::solve_greedy(split.test.jobs(), cap,
+                                           oracle::Objective::kTco, model);
+  std::printf("job_sample:density,tco_saving,on_ssd\n");
+  for (std::size_t i = 0; i < split.test.size(); i += 40) {
+    const auto& j = split.test.jobs()[i];
+    std::printf("%.1f,%.6f,%d\n", j.io_density, j.tco_saving(),
+                result.on_ssd[i] ? 1 : 0);
+  }
+  return 0;
+}

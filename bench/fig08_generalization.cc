@@ -1,0 +1,59 @@
+// Figure 8: workload generalization. Train one category model per cluster
+// C0..C3 and evaluate all of them on C0's test week across the quota sweep.
+// Paper finding: cross-cluster models track the home model closely, except
+// the degenerate cluster C3 (which only runs workloads rare elsewhere).
+#include <cstdio>
+
+#include "common.h"
+#include "sim/metrics.h"
+
+using namespace byom;
+
+int main() {
+  bench::print_header(
+      "Figure 8: cross-cluster generalization (train C0-C3, test C0)",
+      "TCO savings on C0 for models trained on different clusters + best "
+      "baseline",
+      "C1/C2 models ~ C0 model; C3 (rare-workload cluster) degrades; all "
+      "above/near the best baseline at small quota");
+
+  // Home cluster (C0) supplies the test set and the baselines.
+  const auto home = bench::make_bench_cluster(0);
+  const auto& test = home.split.test;
+
+  // Cross-cluster models, trained on each cluster's own training week.
+  std::vector<bench::PrecomputedCategories> predictors;
+  for (std::uint32_t cid = 0; cid < 4; ++cid) {
+    if (cid == 0) {
+      predictors.emplace_back(home.factory->category_model(), test, false);
+    } else {
+      const auto other = bench::make_bench_cluster(cid, 16, 8.0);
+      predictors.emplace_back(other.factory->category_model(), test, false);
+    }
+  }
+
+  sim::SweepTable table(
+      "quota", {"train_C0", "train_C1", "train_C2", "train_C3",
+                "best_baseline_C0"});
+  for (double quota : {0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    const auto cap = sim::quota_capacity(test, quota);
+    std::vector<double> row;
+    for (const auto& pre : predictors) {
+      auto policy = bench::make_precomputed_ranking(
+          pre, home.factory->adaptive_config());
+      row.push_back(bench::run_policy(*policy, test, cap).tco_savings_pct());
+    }
+    double best_baseline = 0.0;
+    for (auto id : {sim::MethodId::kFirstFit, sim::MethodId::kHeuristic,
+                    sim::MethodId::kMlBaseline}) {
+      best_baseline =
+          std::max(best_baseline,
+                   sim::run_method(*home.factory, id, test, cap)
+                       .tco_savings_pct());
+    }
+    row.push_back(best_baseline);
+    table.add_row(quota, row);
+  }
+  std::printf("%s", table.to_csv(3).c_str());
+  return 0;
+}

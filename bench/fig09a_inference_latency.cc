@@ -1,0 +1,83 @@
+// Figure 9a: model inference running time. The paper reports ~4 ms per job
+// for its (unoptimized, Python) prototype and cites YDF's C++ bindings as
+// the optimization path; this is that path. We report both the cumulative
+// time for 50 jobs (the paper's plot) and a google-benchmark microbench.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+
+using namespace byom;
+
+namespace {
+
+struct Fixture {
+  bench::BenchCluster cluster = bench::make_bench_cluster(0, 14, 6.0);
+  const core::CategoryModel& model() const {
+    return cluster.factory->category_model();
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_CategoryInference(benchmark::State& state) {
+  const auto& model = fixture().model();
+  const auto& jobs = fixture().cluster.split.test.jobs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_category(jobs[i]));
+    i = (i + 1) % jobs.size();
+  }
+}
+BENCHMARK(BM_CategoryInference);
+
+void BM_FeatureExtractionOnly(benchmark::State& state) {
+  const auto& model = fixture().model();
+  const auto& jobs = fixture().cluster.split.test.jobs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.extractor().extract(jobs[i]));
+    i = (i + 1) % jobs.size();
+  }
+}
+BENCHMARK(BM_FeatureExtractionOnly);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Figure 9a: accumulated inference time over 50 jobs",
+      "cumulative wall time of category inference, C++ GBDT",
+      "paper prototype: ~4 ms/job in Python (~200 ms for 50 jobs); C++ "
+      "inference is orders of magnitude below the online-decision budget");
+
+  const auto& model = fixture().model();
+  const auto& jobs = fixture().cluster.split.test.jobs();
+  std::printf("job,cumulative_us\n");
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50 && i < static_cast<int>(jobs.size()); ++i) {
+    benchmark::DoNotOptimize(
+        model.predict_category(jobs[static_cast<std::size_t>(i)]));
+    const auto now = std::chrono::steady_clock::now();
+    if ((i + 1) % 10 == 0) {
+      std::printf("%d,%.1f\n", i + 1,
+                  std::chrono::duration<double, std::micro>(now - start)
+                      .count());
+    }
+  }
+  const auto total = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  std::printf("# %.2f us/job over 50 jobs (paper python prototype: ~4000 us/job)\n",
+              total / 50.0);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9b: model top-1 accuracy vs training-set size across workloads.
+// Paper findings: average top-1 accuracy ~0.36 for the 15-class model, and
+// no strong correlation between training size and accuracy.
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "common/stats.h"
+#include "core/category_model.h"
+
+using namespace byom;
+
+int main() {
+  bench::print_header(
+      "Figure 9b: top-1 accuracy vs training size",
+      "accuracy of per-cluster 15-class models at several training sizes",
+      "average top-1 accuracy ~0.36; weak correlation with training size");
+
+  std::printf("cluster,train_rows,top1_accuracy\n");
+  common::RunningStats all_acc;
+  for (std::uint32_t cid : {0u, 1u, 2u, 4u}) {
+    const auto cfg = bench::bench_cluster_config(cid, 16, 8.0);
+    const auto split =
+        trace::split_train_test(trace::generate_cluster_trace(cfg));
+    for (double fraction : {0.25, 0.5, 1.0}) {
+      const auto n = static_cast<std::size_t>(
+          static_cast<double>(split.train.size()) * fraction);
+      if (n < 200) continue;
+      std::vector<trace::Job> subset(split.train.jobs().begin(),
+                                     split.train.jobs().begin() +
+                                         static_cast<std::ptrdiff_t>(n));
+      const auto model =
+          core::CategoryModel::train(subset, bench::bench_model_config(15));
+      const double acc = model.top1_accuracy(split.test.jobs());
+      all_acc.add(acc);
+      std::printf("%u,%zu,%.4f\n", cid, n, acc);
+    }
+  }
+  std::printf("# average top-1 accuracy: %.3f (paper: ~0.36); spread %.3f-%.3f\n",
+              all_acc.mean(), all_acc.min(), all_acc.max());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 9c: importance of the four feature groups per category, measured
+// as the normalized AUC decrease when a feature is excluded from the binary
+// is-this-category prediction task. Paper findings: historical system
+// metrics (group A) dominate the I/O-density ranking categories; start time
+// (T) and execution metadata (B) matter most for the negative-TCO category 0.
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "common/rng.h"
+#include "features/feature_extractor.h"
+#include "ml/importance.h"
+
+using namespace byom;
+
+int main() {
+  bench::print_header(
+      "Figure 9c: feature-group importance (AUC decrease) per category",
+      "rows: category; columns: normalized mean importance of groups "
+      "A(hist)/B(meta)/C(res)/T(time)",
+      "group A dominates density categories (1..N-1); B and T are "
+      "relatively most useful for category 0 (negative TCO savings)");
+
+  const auto cluster = bench::make_bench_cluster(0, 16, 8.0, 8);
+  const auto& model = cluster.factory->category_model();
+
+  // Subsample the test week to keep the permutation analysis fast.
+  std::vector<trace::Job> eval_jobs;
+  for (std::size_t i = 0; i < cluster.split.test.size(); i += 4) {
+    eval_jobs.push_back(cluster.split.test.jobs()[i]);
+  }
+  const auto data = model.extractor().make_dataset(eval_jobs);
+  const auto labels = model.labeler().label(eval_jobs);
+
+  common::Rng rng(99);
+  const auto importances = ml::auc_decrease_importance(
+      model.classifier(), data, labels, rng, /*repeats=*/1);
+  const auto grouped = ml::group_importance(
+      importances, model.extractor().feature_groups(),
+      features::kNumFeatureGroups);
+
+  std::printf("category,baseline_auc,A_hist,B_meta,C_res,T_time\n");
+  for (std::size_t c = 0; c < importances.size(); ++c) {
+    std::printf("%zu,%.3f", c, importances[c].baseline_auc);
+    for (int g = 0; g < features::kNumFeatureGroups; ++g) {
+      std::printf(",%.4f", grouped[static_cast<std::size_t>(g)][c]);
+    }
+    std::printf("\n");
+  }
+
+  // Summaries: average importance of A on density categories vs category 0.
+  double a_density = 0.0, a_zero = grouped[features::kGroupHistorical][0];
+  double bt_zero = grouped[features::kGroupMetadata][0] +
+                   grouped[features::kGroupTimestamp][0];
+  for (std::size_t c = 1; c < importances.size(); ++c) {
+    a_density += grouped[features::kGroupHistorical][c];
+  }
+  a_density /= static_cast<double>(importances.size() - 1);
+  std::printf(
+      "# mean A importance on density categories: %.4f; on category 0: "
+      "%.4f; B+T on category 0: %.4f\n",
+      a_density, a_zero, bt_zero);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 11: end-to-end TCO savings with the model's predicted categories
+// vs ground-truth categories (a perfect, 100%-accurate model). Paper
+// finding: the curves are close - beyond a point, better accuracy has
+// diminishing returns; the category design and the adaptive algorithm are
+// what matter.
+#include <cstdio>
+
+#include "common.h"
+#include "sim/metrics.h"
+
+using namespace byom;
+
+int main() {
+  bench::print_header(
+      "Figure 11: predicted vs true category",
+      "TCO savings across the quota sweep for predicted / ground-truth "
+      "categories",
+      "true-category curve close to predicted-category curve (diminishing "
+      "returns from accuracy)");
+
+  const auto cluster = bench::make_bench_cluster(0);
+  const auto& test = cluster.split.test;
+  const auto& model = cluster.factory->category_model();
+
+  const bench::PrecomputedCategories predicted(model, test, false);
+  const bench::PrecomputedCategories truth(model, test, true);
+
+  std::printf("# model top-1 accuracy on test week: %.3f\n",
+              model.top1_accuracy(test.jobs()));
+  sim::SweepTable table("quota", {"predicted_category", "true_category"});
+  for (double quota :
+       {0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}) {
+    const auto cap = sim::quota_capacity(test, quota);
+    auto p = bench::make_precomputed_ranking(
+        predicted, cluster.factory->adaptive_config(), "Predicted");
+    auto t = bench::make_precomputed_ranking(
+        truth, cluster.factory->adaptive_config(), "True");
+    table.add_row(quota,
+                  {bench::run_policy(*p, test, cap).tco_savings_pct(),
+                   bench::run_policy(*t, test, cap).tco_savings_pct()});
+  }
+  std::printf("%s", table.to_csv(3).c_str());
+
+  double max_gap = 0.0;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    max_gap = std::max(max_gap, table.value(r, 1) - table.value(r, 0));
+  }
+  std::printf("# max (true - predicted) gap: %.3f%% of TCO\n", max_gap);
+  return 0;
+}

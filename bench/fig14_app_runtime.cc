@@ -1,0 +1,36 @@
+// Figure 14: application run-time savings for the mixed prototype
+// deployment (Appendix C.1.2). Paper findings: all workload groups improve
+// (savings are opportunistic, on top of the cost goal), and no workload
+// regresses relative to its HDD baseline.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace byom;
+
+int main() {
+  bench::print_header(
+      "Figure 14: application run-time savings (mixed prototype)",
+      "run-time savings percentage per workload group at 1% and 20% quota",
+      "all groups improve; no regressions (savings opportunistic)");
+
+  const auto deployment = bench::MixedDeployment::generate(77);
+  std::printf(
+      "quota,method,runtime_framework_pct,runtime_non_framework_pct\n");
+  bool any_regression = false;
+  for (double quota : {0.01, 0.20}) {
+    const auto ff = deployment.run_first_fit(quota);
+    const auto ar = deployment.run_adaptive_ranking(quota);
+    std::printf("%.2f,FirstFit,%.3f,%.3f\n", quota, ff.runtime_framework,
+                ff.runtime_non_framework);
+    std::printf("%.2f,AdaptiveRanking,%.3f,%.3f\n", quota,
+                ar.runtime_framework, ar.runtime_non_framework);
+    any_regression |= ar.runtime_framework < -1e-9 ||
+                      ar.runtime_non_framework < -1e-9 ||
+                      ff.runtime_framework < -1e-9 ||
+                      ff.runtime_non_framework < -1e-9;
+  }
+  std::printf("# regressions observed: %s (paper: none)\n",
+              any_regression ? "YES - investigate" : "none");
+  return 0;
+}

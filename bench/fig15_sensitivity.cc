@@ -1,0 +1,73 @@
+// Figure 15: sensitivity of Adaptive Ranking to the adaptive-algorithm
+// hyperparameters. All 27 combinations of the paper's grid:
+//   T_SPILLOVER in {[0.005,0.03], [0.01,0.15], [0.05,0.25]}
+//   t_w (look-back window) in {600, 900, 1800} s
+//   t_l (decision interval) in {600, 900, 1800} s
+// Paper finding: the min-max band across combinations is narrow - the
+// solution is not sensitive to hyperparameter selection.
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+
+using namespace byom;
+
+int main() {
+  bench::print_header(
+      "Figure 15: adaptive algorithm hyperparameter sensitivity",
+      "per-quota min/mean/max TCO savings across the 27-combination grid",
+      "narrow band: insensitive to hyperparameters");
+
+  const auto cluster = bench::make_bench_cluster(0);
+  const auto& test = cluster.split.test;
+  const bench::PrecomputedCategories predicted(
+      cluster.factory->category_model(), test, false);
+
+  const double tolerance[3][2] = {{0.005, 0.03}, {0.01, 0.15}, {0.05, 0.25}};
+  const double windows[3] = {600.0, 900.0, 1800.0};
+  const double intervals[3] = {600.0, 900.0, 1800.0};
+
+  std::printf("quota,min_pct,mean_pct,max_pct,band_width\n");
+  for (double quota : {0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    const auto cap = sim::quota_capacity(test, quota);
+    double lo = 1e300, hi = -1e300, sum = 0.0;
+    int count = 0;
+    for (const auto& tol : tolerance) {
+      for (double tw : windows) {
+        for (double tl : intervals) {
+          policy::AdaptiveConfig cfg = cluster.factory->adaptive_config();
+          cfg.spillover_lower = tol[0];
+          cfg.spillover_upper = tol[1];
+          cfg.lookback_window = tw;
+          cfg.decision_interval = tl;
+          auto policy = bench::make_precomputed_ranking(predicted, cfg);
+          const double pct =
+              bench::run_policy(*policy, test, cap).tco_savings_pct();
+          lo = std::min(lo, pct);
+          hi = std::max(hi, pct);
+          sum += pct;
+          ++count;
+        }
+      }
+    }
+    std::printf("%.2f,%.3f,%.3f,%.3f,%.3f\n", quota, lo, sum / count, hi,
+                hi - lo);
+  }
+
+  // Ablation flagged in DESIGN.md: window semantics (jobs starting within
+  // vs overlapping the look-back window).
+  std::printf("window_semantics:quota,start_within,overlap\n");
+  for (double quota : {0.01, 0.1, 0.5}) {
+    const auto cap = sim::quota_capacity(test, quota);
+    policy::AdaptiveConfig cfg = cluster.factory->adaptive_config();
+    cfg.window_by_overlap = false;
+    auto start_within = bench::make_precomputed_ranking(predicted, cfg);
+    cfg.window_by_overlap = true;
+    auto overlap = bench::make_precomputed_ranking(predicted, cfg);
+    std::printf("%.2f,%.3f,%.3f\n", quota,
+                bench::run_policy(*start_within, test, cap)
+                    .tco_savings_pct(),
+                bench::run_policy(*overlap, test, cap).tco_savings_pct());
+  }
+  return 0;
+}

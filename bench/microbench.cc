@@ -1,0 +1,103 @@
+// Component microbenchmarks (google-benchmark): throughput of the pieces
+// that sit on the online path (feature extraction, GBDT inference,
+// Algorithm 1 decisions, simulator replay) and of the offline oracle.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.h"
+#include "features/tokenizer.h"
+#include "oracle/greedy_oracle.h"
+#include "policy/first_fit.h"
+#include "storage/dram_cache.h"
+
+using namespace byom;
+
+namespace {
+
+struct Fixture {
+  bench::BenchCluster cluster = bench::make_bench_cluster(0, 14, 6.0);
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_TokenizeMetadata(benchmark::State& state) {
+  const std::string value = "org_adslogs.streamshuffle-p3-prod.dataimporter";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::tokenize_metadata(value));
+  }
+}
+BENCHMARK(BM_TokenizeMetadata);
+
+void BM_AdaptivePolicyDecision(benchmark::State& state) {
+  const auto& cluster = fixture().cluster;
+  const auto& jobs = cluster.split.test.jobs();
+  policy::AdaptiveCategoryPolicy policy(
+      "bench", policy::hash_category_fn(15),
+      cluster.factory->adaptive_config());
+  policy::StorageView view;
+  view.ssd_capacity_bytes = 1ULL << 40;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.decide(jobs[i], view));
+    policy.on_placed(jobs[i], {});
+    i = (i + 1) % jobs.size();
+  }
+}
+BENCHMARK(BM_AdaptivePolicyDecision);
+
+void BM_SimulatorReplay(benchmark::State& state) {
+  const auto& cluster = fixture().cluster;
+  const auto cap = sim::quota_capacity(cluster.split.test, 0.05);
+  for (auto _ : state) {
+    policy::FirstFitPolicy policy;
+    benchmark::DoNotOptimize(
+        bench::run_policy(policy, cluster.split.test, cap));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * cluster.split.test.size()));
+}
+BENCHMARK(BM_SimulatorReplay);
+
+void BM_OracleGreedy(benchmark::State& state) {
+  const auto& cluster = fixture().cluster;
+  const auto cap = sim::quota_capacity(cluster.split.test, 0.05);
+  const cost::CostModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        oracle::solve_greedy(cluster.split.test.jobs(), cap,
+                             oracle::Objective::kTco, model));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * cluster.split.test.size()));
+}
+BENCHMARK(BM_OracleGreedy);
+
+void BM_DramCacheAccess(benchmark::State& state) {
+  storage::DramCache cache(1ULL << 30);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(i % 4096, 1 << 20));
+    ++i;
+  }
+}
+BENCHMARK(BM_DramCacheAccess);
+
+void BM_CategoryModelTraining(benchmark::State& state) {
+  const auto& cluster = fixture().cluster;
+  auto config = bench::bench_model_config(static_cast<int>(state.range(0)));
+  config.gbdt.num_rounds = 5;  // keep the microbench quick
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::CategoryModel::train(
+        cluster.split.train.jobs(), config));
+  }
+}
+BENCHMARK(BM_CategoryModelTraining)->Arg(5)->Arg(15)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

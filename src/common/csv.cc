@@ -1,0 +1,131 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace byom::common {
+
+std::size_t CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CSV column not found: " + std::string(name));
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string csv_join(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out.push_back(',');
+    out += csv_escape(fields[i]);
+  }
+  return out;
+}
+
+namespace {
+
+// Parses one logical CSV record starting at `pos`; advances `pos` past the
+// record's trailing newline. Returns false at end of input.
+bool parse_record(std::string_view text, std::size_t& pos,
+                  std::vector<std::string>& out) {
+  out.clear();
+  if (pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field.push_back('"');
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        field.push_back(c);
+        ++pos;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        saw_any = true;
+        ++pos;
+        break;
+      case ',':
+        out.push_back(std::move(field));
+        field.clear();
+        saw_any = true;
+        ++pos;
+        break;
+      case '\r':
+        ++pos;
+        break;
+      case '\n':
+        ++pos;
+        out.push_back(std::move(field));
+        return true;
+      default:
+        field.push_back(c);
+        saw_any = true;
+        ++pos;
+        break;
+    }
+  }
+  if (saw_any || !field.empty()) {
+    out.push_back(std::move(field));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CsvTable parse_csv(std::string_view text) {
+  CsvTable table;
+  std::size_t pos = 0;
+  std::vector<std::string> record;
+  if (parse_record(text, pos, record)) table.header = record;
+  while (parse_record(text, pos, record)) {
+    if (record.size() == 1 && record[0].empty()) continue;  // blank line
+    table.rows.push_back(record);
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_csv(ss.str());
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write CSV file: " + path);
+  out << csv_join(table.header) << '\n';
+  for (const auto& row : table.rows) out << csv_join(row) << '\n';
+  if (!out) throw std::runtime_error("error writing CSV file: " + path);
+}
+
+}  // namespace byom::common

@@ -1,0 +1,36 @@
+// Minimal CSV reading/writing for trace persistence and bench output.
+//
+// The format is deliberately simple: comma separated, first row is a header,
+// fields containing commas/quotes/newlines are double-quoted with embedded
+// quotes doubled (RFC 4180 subset). This is all the experiments need.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace byom::common {
+
+// A parsed CSV table. `header[i]` names `rows[r][i]`.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  // Index of a header column; throws std::out_of_range if absent.
+  std::size_t column(std::string_view name) const;
+};
+
+// Escape a single field per RFC 4180 (quote only when needed).
+std::string csv_escape(std::string_view field);
+
+// Serialize one row.
+std::string csv_join(const std::vector<std::string>& fields);
+
+// Parse CSV text (first line = header). Handles quoted fields.
+CsvTable parse_csv(std::string_view text);
+
+// Read/write whole files. Throws std::runtime_error on I/O failure.
+CsvTable read_csv_file(const std::string& path);
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace byom::common

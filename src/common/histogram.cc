@@ -1,0 +1,92 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace byom::common {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
+}
+
+void Histogram::add(double x, double weight) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<long>(std::floor(frac * static_cast<double>(counts_.size())));
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+void IntervalSeries::add(double t0, double t1, double value) {
+  if (!(t1 > t0) || value == 0.0) return;
+  events_.push_back({t0, value});
+  events_.push_back({t1, -value});
+  dirty_ = true;
+}
+
+void IntervalSeries::rebuild() const {
+  times_.clear();
+  values_.clear();
+  if (events_.empty()) {
+    dirty_ = false;
+    return;
+  }
+  auto sorted = events_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Event& a, const Event& b) { return a.t < b.t; });
+  double running = 0.0;
+  for (std::size_t i = 0; i < sorted.size();) {
+    const double t = sorted[i].t;
+    while (i < sorted.size() && sorted[i].t == t) {
+      running += sorted[i].delta;
+      ++i;
+    }
+    times_.push_back(t);
+    values_.push_back(running);
+  }
+  dirty_ = false;
+}
+
+double IntervalSeries::at(double t) const {
+  if (dirty_) rebuild();
+  if (times_.empty() || t < times_.front()) return 0.0;
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto idx = static_cast<std::size_t>(it - times_.begin());
+  return values_[idx - 1];
+}
+
+double IntervalSeries::peak() const {
+  if (dirty_) rebuild();
+  double p = 0.0;
+  for (double v : values_) p = std::max(p, v);
+  return p;
+}
+
+std::vector<double> IntervalSeries::sample(double lo, double hi,
+                                           std::size_t n) const {
+  std::vector<double> out;
+  out.reserve(n);
+  if (n == 0) return out;
+  if (n == 1) {
+    out.push_back(at(lo));
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    out.push_back(at(t));
+  }
+  return out;
+}
+
+}  // namespace byom::common

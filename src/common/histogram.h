@@ -1,0 +1,63 @@
+// Fixed-bin and time-series histograms used by the trace generator analysis
+// and the figure benches (e.g. Figure 1 space-usage-over-time series).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace byom::common {
+
+// Equal-width histogram over [lo, hi); out-of-range samples clamp to the
+// first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+// A step-function time series built from interval contributions: add(t0, t1,
+// v) adds v over [t0, t1). Query integrates or samples the series. Used to
+// compute space-usage-over-time and SSD occupancy curves.
+class IntervalSeries {
+ public:
+  // [t0, t1) gains `value`.
+  void add(double t0, double t1, double value);
+
+  // Value of the series at time t.
+  double at(double t) const;
+
+  // Maximum value over all time.
+  double peak() const;
+
+  // Sample `n` points uniformly over [lo, hi] (inclusive endpoints).
+  std::vector<double> sample(double lo, double hi, std::size_t n) const;
+
+ private:
+  struct Event {
+    double t;
+    double delta;
+  };
+  // Sorted snapshot of cumulative values; rebuilt lazily.
+  void rebuild() const;
+
+  std::vector<Event> events_;
+  mutable bool dirty_ = false;
+  mutable std::vector<double> times_;
+  mutable std::vector<double> values_;  // value on [times_[i], times_[i+1])
+};
+
+}  // namespace byom::common

@@ -1,0 +1,116 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component in the library takes an explicit Rng (or a seed)
+// instead of touching global state, so that each figure/table bench is exactly
+// reproducible from its seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <string_view>
+
+namespace byom::common {
+
+// SplitMix64: used to expand a single seed into a well-distributed state.
+inline std::uint64_t split_mix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a hash for strings; used for feature hashing and hash-based category
+// assignment (the Adaptive Hash ablation).
+inline std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// xoshiro256** by Blackman & Vigna. Small, fast, high quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = split_mix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+  // Standard normal via Box-Muller.
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  // Log-normal with parameters of the underlying normal (mu, sigma).
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  // Exponential with the given mean (not rate).
+  double exponential(double mean) {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  // Bernoulli trial.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Pareto (heavy tail) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  // Derive an independent child generator; `salt` distinguishes children.
+  Rng fork(std::uint64_t salt) const {
+    std::uint64_t mix = s_[0] ^ rotl(s_[3], 13) ^ (salt * 0x9E3779B97F4A7C15ULL);
+    return Rng(mix);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace byom::common

@@ -1,0 +1,46 @@
+// Streaming and batch summary statistics used throughout the experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace byom::common {
+
+// Welford-style streaming mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch percentile. `q` in [0, 1]; linear interpolation between ranks.
+// Copies the input (callers keep their data in original order).
+double percentile(std::vector<double> values, double q);
+
+// Mean of a vector (0 for empty input).
+double mean_of(const std::vector<double>& values);
+
+// Quantile cut points that split `values` into `k` equal-frequency buckets.
+// Returns k-1 interior thresholds in ascending order.
+std::vector<double> equi_depth_thresholds(std::vector<double> values, int k);
+
+// Index of the bucket (0..k-1) that `x` falls into given interior thresholds
+// as produced by equi_depth_thresholds. Values on a boundary go right.
+int bucket_of(double x, const std::vector<double>& thresholds);
+
+}  // namespace byom::common

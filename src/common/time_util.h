@@ -1,0 +1,37 @@
+// Simulation-time helpers. The simulation epoch (t = 0) is defined to be a
+// Monday at 00:00:00, so weekday/hour features are deterministic functions of
+// simulation time without any wall-clock dependence.
+#pragma once
+
+#include <cmath>
+
+namespace byom::common {
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+
+// Day of week for a simulation timestamp; 0 = Monday ... 6 = Sunday.
+inline int weekday_of(double t) {
+  double d = std::floor(t / kSecondsPerDay);
+  d = std::fmod(d, 7.0);
+  if (d < 0) d += 7.0;
+  return static_cast<int>(d);
+}
+
+// Hour of day, 0..23.
+inline int hour_of_day(double t) {
+  double s = std::fmod(t, kSecondsPerDay);
+  if (s < 0) s += kSecondsPerDay;
+  return static_cast<int>(s / kSecondsPerHour);
+}
+
+// Second within the day, 0..86399.
+inline double second_of_day(double t) {
+  double s = std::fmod(t, kSecondsPerDay);
+  if (s < 0) s += kSecondsPerDay;
+  return s;
+}
+
+}  // namespace byom::common

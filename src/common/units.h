@@ -1,0 +1,21 @@
+// Byte-size literals/constants shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace byom::common {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+inline constexpr double as_gib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGiB);
+}
+
+inline constexpr double as_tib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kTiB);
+}
+
+}  // namespace byom::common

@@ -1,0 +1,43 @@
+#include "core/byom.h"
+
+#include <utility>
+
+namespace byom::core {
+
+void ModelRegistry::register_model(const std::string& pipeline_name,
+                                   std::shared_ptr<const CategoryModel> model) {
+  per_pipeline_[pipeline_name] = std::move(model);
+}
+
+void ModelRegistry::set_default_model(
+    std::shared_ptr<const CategoryModel> model) {
+  default_model_ = std::move(model);
+}
+
+const CategoryModel* ModelRegistry::lookup(const trace::Job& job) const {
+  const auto it = per_pipeline_.find(job.pipeline_name);
+  if (it != per_pipeline_.end()) return it->second.get();
+  return default_model_.get();
+}
+
+std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
+    std::shared_ptr<const ModelRegistry> registry,
+    const policy::AdaptiveConfig& config) {
+  auto fallback = policy::hash_category_fn(config.num_categories);
+  return std::make_unique<policy::AdaptiveCategoryPolicy>(
+      "BYOM",
+      [registry = std::move(registry), fallback](const trace::Job& job) {
+        if (const CategoryModel* model = registry->lookup(job)) {
+          return model->predict_category(job);
+        }
+        return fallback(job);
+      },
+      config);
+}
+
+CategoryModel train_byom_model(const std::vector<trace::Job>& history,
+                               const CategoryModelConfig& config) {
+  return CategoryModel::train(history, config);
+}
+
+}  // namespace byom::core

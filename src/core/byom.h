@@ -1,0 +1,59 @@
+// End-to-end BYOM API.
+//
+// The cross-layer contract (paper Figure 3): each *workload* trains its own
+// category model at the application layer; at run time every job carries a
+// category hint produced by its workload's model; the storage layer runs
+// the adaptive category selection algorithm over those hints.
+//
+// ModelRegistry holds one model per workload (keyed by pipeline name) plus
+// an optional cluster-default model. make_byom_policy() wires a registry
+// into the Algorithm-1 policy; workloads without any model fall back to a
+// hash category, so a missing/broken model degrades one workload instead of
+// the whole cluster (paper section 2.3: "a model failure only affects one
+// workload").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/category_model.h"
+#include "policy/adaptive.h"
+
+namespace byom::core {
+
+class ModelRegistry {
+ public:
+  // Registers a model for one workload (pipeline). Replaces any previous
+  // registration for the same pipeline.
+  void register_model(const std::string& pipeline_name,
+                      std::shared_ptr<const CategoryModel> model);
+
+  // Cluster-wide fallback (the paper trains one joint model per cluster;
+  // finer granularities "are not precluded" — both work here).
+  void set_default_model(std::shared_ptr<const CategoryModel> model);
+
+  // The model responsible for this job: exact pipeline match, else the
+  // default, else nullptr.
+  const CategoryModel* lookup(const trace::Job& job) const;
+
+  std::size_t num_models() const { return per_pipeline_.size(); }
+  bool has_default() const { return default_model_ != nullptr; }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const CategoryModel>>
+      per_pipeline_;
+  std::shared_ptr<const CategoryModel> default_model_;
+};
+
+// Builds the storage-layer policy for a registry of application models.
+// Jobs whose workload has no model use a hash category (robust fallback).
+std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
+    std::shared_ptr<const ModelRegistry> registry,
+    const policy::AdaptiveConfig& config = {});
+
+// One-call offline training for a workload/cluster history.
+CategoryModel train_byom_model(const std::vector<trace::Job>& history,
+                               const CategoryModelConfig& config = {});
+
+}  // namespace byom::core

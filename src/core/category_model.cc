@@ -1,0 +1,77 @@
+#include "core/category_model.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "ml/metrics.h"
+
+namespace byom::core {
+
+CategoryModel CategoryModel::train(const std::vector<trace::Job>& train_jobs,
+                                   const CategoryModelConfig& config) {
+  if (train_jobs.empty()) {
+    throw std::invalid_argument("CategoryModel::train: empty training set");
+  }
+  CategoryModel model;
+  model.labeler_ = CategoryLabeler::fit(train_jobs, config.num_categories);
+  const auto labels = model.labeler_.label(train_jobs);
+  const auto data = model.extractor_.make_dataset(train_jobs);
+  model.classifier_.train(data, labels, config.num_categories, config.gbdt);
+  return model;
+}
+
+int CategoryModel::predict_category(const trace::Job& job) const {
+  const auto features = extractor_.extract(job);
+  return classifier_.predict(features.data());
+}
+
+std::vector<double> CategoryModel::predict_proba(const trace::Job& job) const {
+  const auto features = extractor_.extract(job);
+  return classifier_.predict_proba(features.data());
+}
+
+int CategoryModel::true_category(const trace::Job& job) const {
+  return labeler_.category_of(job);
+}
+
+double CategoryModel::top1_accuracy(
+    const std::vector<trace::Job>& test_jobs) const {
+  if (test_jobs.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& j : test_jobs) {
+    if (predict_category(j) == true_category(j)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(test_jobs.size());
+}
+
+void CategoryModel::save(std::ostream& out) const {
+  out << "category_model v1\n";
+  labeler_.save(out);
+  classifier_.save(out);
+}
+
+CategoryModel CategoryModel::load(std::istream& in) {
+  std::string tag, version;
+  in >> tag >> version;
+  if (tag != "category_model" || version != "v1") {
+    throw std::runtime_error("CategoryModel::load: bad header");
+  }
+  CategoryModel model;
+  model.labeler_ = CategoryLabeler::load(in);
+  model.classifier_ = ml::GbdtClassifier::load(in);
+  return model;
+}
+
+void CategoryModel::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write model file: " + path);
+  save(out);
+}
+
+CategoryModel CategoryModel::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read model file: " + path);
+  return load(in);
+}
+
+}  // namespace byom::core

@@ -1,0 +1,59 @@
+// Category label design (paper section 4.2).
+//
+// The model predicts an "importance" ranking category per job:
+//   category 0       — jobs whose TCO saving on SSD is negative (least
+//                      important; the oracle never admits them), and
+//   categories 1..N-1 — buckets of I/O density among cost-saving jobs, in
+//                      increasing density order (higher = more important).
+//
+// The paper chooses *equal-frequency* (equi-depth) density buckets after
+// finding that linearly and logarithmically spaced buckets "result in a
+// heavily imbalanced data set" (Figure 4 discussion). All three spacings
+// are implemented so the ablation bench can demonstrate that finding.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "trace/job.h"
+
+namespace byom::core {
+
+enum class LabelSpacing {
+  kEquiDepth,    // paper's choice: equal-frequency quantile buckets
+  kLinear,       // equal-width buckets over [min, max] density
+  kLogarithmic,  // equal-width buckets over log-density
+};
+
+class CategoryLabeler {
+ public:
+  CategoryLabeler() = default;
+
+  // Learns density thresholds from a training population.
+  static CategoryLabeler fit(const std::vector<trace::Job>& train_jobs,
+                             int num_categories,
+                             LabelSpacing spacing = LabelSpacing::kEquiDepth);
+
+  int num_categories() const { return num_categories_; }
+
+  // True category of a job from its post-execution measurements.
+  int category_of(const trace::Job& job) const;
+
+  // Label vector for a job population.
+  std::vector<int> label(const std::vector<trace::Job>& jobs) const;
+
+  // Count of jobs per category; used to quantify class imbalance.
+  std::vector<int> category_histogram(
+      const std::vector<trace::Job>& jobs) const;
+
+  // Text (de)serialization.
+  void save(std::ostream& out) const;
+  static CategoryLabeler load(std::istream& in);
+
+ private:
+  int num_categories_ = 0;
+  // Interior thresholds between density buckets, ascending (N-2 values).
+  std::vector<double> density_thresholds_;
+};
+
+}  // namespace byom::core

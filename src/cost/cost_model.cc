@@ -1,0 +1,99 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace byom::cost {
+
+namespace {
+constexpr double kMinDuration = 1.0;  // guard against zero-length jobs
+}
+
+double CostModel::tcio_hdd(const JobCostInputs& j) const {
+  const double dur = std::max(j.duration, kMinDuration);
+  return j.io.disk_ops() / (dur * rates_.hdd_iops_capacity);
+}
+
+double CostModel::tcio_seconds_hdd(const JobCostInputs& j) const {
+  // TCIO * duration = disk_ops / iops_capacity; independent of duration.
+  return j.io.disk_ops() / rates_.hdd_iops_capacity;
+}
+
+double CostModel::io_throughput(const JobCostInputs& j) const {
+  const double dur = std::max(j.duration, kMinDuration);
+  return static_cast<double>(j.io.total_bytes()) / dur;
+}
+
+double CostModel::io_density(const JobCostInputs& j) const {
+  const double gib = std::max(common::as_gib(j.peak_bytes), 1e-9);
+  return j.io.disk_ops() / gib;
+}
+
+double CostModel::cost_hdd(const JobCostInputs& j) const {
+  const double dur = std::max(j.duration, kMinDuration);
+  const double size = static_cast<double>(j.peak_bytes);
+  const double cost_byte = rates_.byte_cost_hdd * size * dur;
+  const double cost_network =
+      rates_.network_cost_rate * io_throughput(j) * dur;
+  const double tcio = tcio_hdd(j);
+  const double cost_server = rates_.server_cost_rate_hdd * tcio * dur;
+  const double cost_specific = rates_.device_cost_rate_hdd * tcio * dur;
+  return cost_byte + cost_network + cost_server + cost_specific;
+}
+
+double CostModel::cost_ssd(const JobCostInputs& j) const {
+  const double dur = std::max(j.duration, kMinDuration);
+  const double size = static_cast<double>(j.peak_bytes);
+  const double cost_byte = rates_.byte_cost_ssd * size * dur;
+  const double cost_network =
+      rates_.network_cost_rate * io_throughput(j) * dur;
+  // Server cost on SSD correlates with the bytes transmitted (paper sec. 3).
+  const double cost_server =
+      rates_.server_cost_rate_ssd * static_cast<double>(j.io.total_bytes());
+  const double cost_specific =
+      rates_.wearout_cost_rate_ssd * static_cast<double>(j.io.bytes_written);
+  return cost_byte + cost_network + cost_server + cost_specific;
+}
+
+double CostModel::cost_mixed(const JobCostInputs& j, double ssd_share,
+                             double ssd_time_share) const {
+  ssd_share = std::clamp(ssd_share, 0.0, 1.0);
+  ssd_time_share = std::clamp(ssd_time_share, 0.0, 1.0);
+  const double on_ssd = ssd_share * ssd_time_share;
+  if (on_ssd <= 0.0) return cost_hdd(j);
+  if (on_ssd >= 1.0) return cost_ssd(j);
+  // Split the job into an SSD-resident part and an HDD part. Byte and I/O
+  // volumes scale with the resident share; I/O is assumed uniform in time.
+  JobCostInputs ssd_part = j;
+  ssd_part.peak_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(j.peak_bytes) * ssd_share);
+  ssd_part.duration = j.duration * ssd_time_share;
+  ssd_part.io.bytes_written = static_cast<std::uint64_t>(
+      static_cast<double>(j.io.bytes_written) * on_ssd);
+  ssd_part.io.bytes_read = static_cast<std::uint64_t>(
+      static_cast<double>(j.io.bytes_read) * on_ssd);
+
+  JobCostInputs hdd_part = j;
+  hdd_part.io.bytes_written = j.io.bytes_written - ssd_part.io.bytes_written;
+  hdd_part.io.bytes_read = j.io.bytes_read - ssd_part.io.bytes_read;
+  // The HDD part stores the non-resident share for the full duration plus
+  // the resident share after eviction.
+  const double hdd_byte_seconds =
+      static_cast<double>(j.peak_bytes) * j.duration -
+      static_cast<double>(ssd_part.peak_bytes) * ssd_part.duration;
+  hdd_part.peak_bytes = static_cast<std::uint64_t>(
+      hdd_byte_seconds / std::max(j.duration, kMinDuration));
+
+  return cost_ssd(ssd_part) + cost_hdd(hdd_part);
+}
+
+double CostModel::tcio_seconds_mixed(const JobCostInputs& j, double ssd_share,
+                                     double ssd_time_share) const {
+  const double on_ssd = std::clamp(ssd_share, 0.0, 1.0) *
+                        std::clamp(ssd_time_share, 0.0, 1.0);
+  return tcio_seconds_hdd(j) * (1.0 - on_ssd);
+}
+
+}  // namespace byom::cost

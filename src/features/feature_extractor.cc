@@ -1,0 +1,100 @@
+#include "features/feature_extractor.h"
+
+#include <stdexcept>
+
+#include "common/time_util.h"
+#include "features/tokenizer.h"
+
+namespace byom::features {
+
+const char* feature_group_letter(int group) {
+  switch (group) {
+    case kGroupHistorical: return "A";
+    case kGroupMetadata: return "B";
+    case kGroupResources: return "C";
+    case kGroupTimestamp: return "T";
+    default: return "?";
+  }
+}
+
+FeatureExtractor::FeatureExtractor(int metadata_buckets)
+    : metadata_buckets_(metadata_buckets) {
+  if (metadata_buckets_ < 1) {
+    throw std::invalid_argument("metadata_buckets must be >= 1");
+  }
+  auto add = [&](const std::string& name, int group) {
+    names_.push_back(name);
+    groups_.push_back(group);
+  };
+  // Group A: historical system metrics.
+  add("average_tcio", kGroupHistorical);
+  add("average_size", kGroupHistorical);
+  add("average_lifetime", kGroupHistorical);
+  add("average_io_density", kGroupHistorical);
+  // Group C: allocated resources.
+  add("bucket_sizing_initial_num_stripes", kGroupResources);
+  add("bucket_sizing_num_shards", kGroupResources);
+  add("bucket_sizing_num_worker_threads", kGroupResources);
+  add("bucket_sizing_num_workers", kGroupResources);
+  add("initial_num_buckets", kGroupResources);
+  add("num_buckets", kGroupResources);
+  add("records_written", kGroupResources);
+  add("requested_num_shards", kGroupResources);
+  // Group T: job timestamps.
+  add("open_time_day_hour", kGroupTimestamp);
+  add("open_time_seconds", kGroupTimestamp);
+  add("open_time_weekday", kGroupTimestamp);
+  // Group B: execution metadata — identity hash + token hash buckets per
+  // string field.
+  const char* const fields[] = {"build_target_name", "execution_name",
+                                "pipeline_name", "step_name", "user_name"};
+  for (const char* field : fields) {
+    add(std::string(field) + "_id", kGroupMetadata);
+    for (int b = 0; b < metadata_buckets_; ++b) {
+      add(std::string(field) + "_tok" + std::to_string(b), kGroupMetadata);
+    }
+  }
+}
+
+std::vector<float> FeatureExtractor::extract(const trace::Job& job) const {
+  std::vector<float> out;
+  out.reserve(num_features());
+  // Group A.
+  out.push_back(static_cast<float>(job.history.average_tcio));
+  out.push_back(static_cast<float>(job.history.average_size));
+  out.push_back(static_cast<float>(job.history.average_lifetime));
+  out.push_back(static_cast<float>(job.history.average_io_density));
+  // Group C.
+  const auto& r = job.resources;
+  out.push_back(static_cast<float>(r.bucket_sizing_initial_num_stripes));
+  out.push_back(static_cast<float>(r.bucket_sizing_num_shards));
+  out.push_back(static_cast<float>(r.bucket_sizing_num_worker_threads));
+  out.push_back(static_cast<float>(r.bucket_sizing_num_workers));
+  out.push_back(static_cast<float>(r.initial_num_buckets));
+  out.push_back(static_cast<float>(r.num_buckets));
+  out.push_back(static_cast<float>(r.records_written));
+  out.push_back(static_cast<float>(r.requested_num_shards));
+  // Group T.
+  out.push_back(static_cast<float>(common::hour_of_day(job.arrival_time)));
+  out.push_back(static_cast<float>(common::second_of_day(job.arrival_time)));
+  out.push_back(static_cast<float>(common::weekday_of(job.arrival_time)));
+  // Group B.
+  const std::string* fields[] = {&job.build_target_name, &job.execution_name,
+                                 &job.pipeline_name, &job.step_name,
+                                 &job.user_name};
+  for (const std::string* field : fields) {
+    out.push_back(identity_hash_feature(*field));
+    const auto buckets = token_hash_buckets(*field, metadata_buckets_);
+    out.insert(out.end(), buckets.begin(), buckets.end());
+  }
+  return out;
+}
+
+ml::Dataset FeatureExtractor::make_dataset(
+    const std::vector<trace::Job>& jobs) const {
+  ml::Dataset data(names_);
+  for (const auto& job : jobs) data.add_row(extract(job));
+  return data;
+}
+
+}  // namespace byom::features

@@ -1,0 +1,46 @@
+// Paper Table 2 feature vector: historical system metrics (group A),
+// execution metadata (group B), allocated resources (group C), and job
+// timestamps (group T).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "trace/job.h"
+
+namespace byom::features {
+
+// Feature-group ids matching the paper's Figure 9c grouping.
+inline constexpr int kGroupHistorical = 0;  // A
+inline constexpr int kGroupMetadata = 1;    // B
+inline constexpr int kGroupResources = 2;   // C
+inline constexpr int kGroupTimestamp = 3;   // T
+inline constexpr int kNumFeatureGroups = 4;
+
+// Human-readable group letter for reports.
+const char* feature_group_letter(int group);
+
+class FeatureExtractor {
+ public:
+  // `metadata_buckets`: hashing-trick buckets per metadata string field.
+  explicit FeatureExtractor(int metadata_buckets = 8);
+
+  const std::vector<std::string>& feature_names() const { return names_; }
+  const std::vector<int>& feature_groups() const { return groups_; }
+  std::size_t num_features() const { return names_.size(); }
+
+  // Features known *before* execution only: identity strings, allocated
+  // resources, timestamps, history. Never touches post-execution fields.
+  std::vector<float> extract(const trace::Job& job) const;
+
+  // Builds an ml::Dataset over many jobs.
+  ml::Dataset make_dataset(const std::vector<trace::Job>& jobs) const;
+
+ private:
+  int metadata_buckets_;
+  std::vector<std::string> names_;
+  std::vector<int> groups_;
+};
+
+}  // namespace byom::features

@@ -1,0 +1,28 @@
+#include "features/history.h"
+
+namespace byom::features {
+
+trace::HistoricalMetrics HistoryTracker::snapshot(
+    const std::string& job_key) const {
+  trace::HistoricalMetrics h;
+  const auto it = accumulators_.find(job_key);
+  if (it == accumulators_.end() || it->second.n == 0) return h;
+  const auto& acc = it->second;
+  const double inv = 1.0 / acc.n;
+  h.average_tcio = acc.sum_tcio * inv;
+  h.average_size = acc.sum_size * inv;
+  h.average_lifetime = acc.sum_lifetime * inv;
+  h.average_io_density = acc.sum_density * inv;
+  return h;
+}
+
+void HistoryTracker::observe(const trace::Job& job) {
+  auto& acc = accumulators_[job.job_key];
+  acc.sum_tcio += job.tcio_hdd;
+  acc.sum_size += static_cast<double>(job.peak_bytes);
+  acc.sum_lifetime += job.lifetime;
+  acc.sum_density += job.io_density;
+  ++acc.n;
+}
+
+}  // namespace byom::features

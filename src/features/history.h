@@ -1,0 +1,35 @@
+// Online per-pipeline-step history tracker.
+//
+// The trace generator embeds history snapshots in generated jobs; this
+// tracker provides the same signal for live execution paths (the prototype
+// deployment and the framework substrate), where history must be accumulated
+// as jobs complete.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "trace/job.h"
+
+namespace byom::features {
+
+class HistoryTracker {
+ public:
+  // Snapshot of averages over previously observed executions of job.job_key
+  // (negative fields when no history exists yet).
+  trace::HistoricalMetrics snapshot(const std::string& job_key) const;
+
+  // Folds a completed job's measurements into its key's history.
+  void observe(const trace::Job& job);
+
+  std::size_t num_keys() const { return accumulators_.size(); }
+
+ private:
+  struct Accumulator {
+    double sum_tcio = 0, sum_size = 0, sum_lifetime = 0, sum_density = 0;
+    int n = 0;
+  };
+  std::map<std::string, Accumulator> accumulators_;
+};
+
+}  // namespace byom::features

@@ -1,0 +1,40 @@
+#include "features/tokenizer.h"
+
+#include <cctype>
+
+#include "common/rng.h"
+
+namespace byom::features {
+
+std::vector<std::string> tokenize_metadata(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<float> token_hash_buckets(std::string_view text, int num_buckets) {
+  std::vector<float> buckets(static_cast<std::size_t>(num_buckets), 0.0f);
+  if (num_buckets <= 0) return buckets;
+  for (const auto& token : tokenize_metadata(text)) {
+    const std::uint64_t h = common::fnv1a(token);
+    buckets[h % static_cast<std::uint64_t>(num_buckets)] += 1.0f;
+  }
+  return buckets;
+}
+
+float identity_hash_feature(std::string_view text) {
+  return static_cast<float>(
+      static_cast<double>(common::fnv1a(text) >> 11) * 0x1.0p-53);
+}
+
+}  // namespace byom::features

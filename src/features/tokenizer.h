@@ -1,0 +1,23 @@
+// Execution-metadata tokenization (paper Table 3): metadata strings are
+// sequences of key elements separated by non-alphanumeric characters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace byom::features {
+
+// Splits on every non-alphanumeric character; drops empty tokens and
+// lowercases (metadata casing is not meaningful).
+std::vector<std::string> tokenize_metadata(std::string_view text);
+
+// Hashing-trick representation: token counts folded into `num_buckets`
+// buckets via FNV-1a.
+std::vector<float> token_hash_buckets(std::string_view text, int num_buckets);
+
+// Whole-string identity hash scaled to [0, 1) — lets trees isolate
+// recurring metadata values without a vocabulary.
+float identity_hash_feature(std::string_view text);
+
+}  // namespace byom::features

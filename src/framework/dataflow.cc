@@ -1,0 +1,107 @@
+#include "framework/dataflow.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace byom::framework {
+
+int DataflowGraph::add_stage(Stage stage) {
+  stages_.push_back(std::move(stage));
+  return static_cast<int>(stages_.size()) - 1;
+}
+
+void DataflowGraph::add_edge(int from, int to) {
+  const int n = static_cast<int>(stages_.size());
+  if (from < 0 || from >= n || to < 0 || to >= n || from == to) {
+    throw std::invalid_argument("DataflowGraph::add_edge: bad stage ids");
+  }
+  edges_.emplace_back(from, to);
+}
+
+const Stage& DataflowGraph::stage(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= stages_.size()) {
+    throw std::out_of_range("DataflowGraph::stage: bad id");
+  }
+  return stages_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> DataflowGraph::shuffle_stages() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].shuffles) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> DataflowGraph::topological_order() const {
+  const std::size_t n = stages_.size();
+  std::vector<int> indegree(n, 0);
+  for (const auto& [from, to] : edges_) {
+    ++indegree[static_cast<std::size_t>(to)];
+  }
+  std::vector<int> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) frontier.push_back(static_cast<int>(i));
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!frontier.empty()) {
+    const int v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (const auto& [from, to] : edges_) {
+      if (from == v && --indegree[static_cast<std::size_t>(to)] == 0) {
+        frontier.push_back(to);
+      }
+    }
+  }
+  if (order.size() != n) {
+    throw std::runtime_error("DataflowGraph: cycle detected");
+  }
+  return order;
+}
+
+std::vector<int> DataflowGraph::predecessors(int id) const {
+  std::vector<int> out;
+  for (const auto& [from, to] : edges_) {
+    if (to == id) out.push_back(from);
+  }
+  return out;
+}
+
+DataflowGraph make_etl_graph(int parallelism) {
+  DataflowGraph g;
+  const int read = g.add_stage({"ReadSource", "Read", parallelism, false});
+  const int parse = g.add_stage({"ParseRecords", "ParDo", parallelism, false});
+  const int group =
+      g.add_stage({"GroupByKey-shuffle0", "GroupByKey", parallelism, true});
+  const int combine = g.add_stage(
+      {"CombinePerKey-shuffle1", "CombinePerKey", parallelism, true});
+  const int write = g.add_stage({"WriteSink", "Write", parallelism, false});
+  g.add_edge(read, parse);
+  g.add_edge(parse, group);
+  g.add_edge(group, combine);
+  g.add_edge(combine, write);
+  return g;
+}
+
+DataflowGraph make_join_graph(int parallelism) {
+  DataflowGraph g;
+  const int left = g.add_stage({"ReadLeft", "Read", parallelism, false});
+  const int right = g.add_stage({"ReadRight", "Read", parallelism, false});
+  const int join =
+      g.add_stage({"JoinByKey-shuffle0", "JoinByKey", parallelism, true});
+  const int cogroup =
+      g.add_stage({"CoGroup-shuffle1", "CoGroup", parallelism, true});
+  const int sort =
+      g.add_stage({"SortValues-shuffle2", "SortValues", parallelism, true});
+  const int sink = g.add_stage({"WriteResult", "Write", parallelism, false});
+  g.add_edge(left, join);
+  g.add_edge(right, join);
+  g.add_edge(join, cogroup);
+  g.add_edge(cogroup, sort);
+  g.add_edge(sort, sink);
+  return g;
+}
+
+}  // namespace byom::framework

@@ -1,0 +1,53 @@
+// Data-flow graphs for the distributed data-processing framework substrate
+// (paper section 2.1): nodes are computation steps, edges carry data, and
+// steps that exchange data between workers (GroupByKey & friends) spawn
+// shuffle jobs whose intermediate files are the placement units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace byom::framework {
+
+struct Stage {
+  std::string name;       // step identifier, e.g. "GroupByKey-shuffle0"
+  std::string operation;  // e.g. "GroupByKey", "ParDo", "CombinePerKey"
+  int parallelism = 1;    // workers assigned to the stage
+  bool shuffles = false;  // whether the step exchanges data (spawns a job)
+};
+
+class DataflowGraph {
+ public:
+  // Returns the stage id.
+  int add_stage(Stage stage);
+
+  // Adds a directed data edge; throws std::invalid_argument on bad ids or
+  // self-loops.
+  void add_edge(int from, int to);
+
+  std::size_t num_stages() const { return stages_.size(); }
+  const Stage& stage(int id) const;
+  const std::vector<Stage>& stages() const { return stages_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  // Ids of stages that spawn shuffle jobs.
+  std::vector<int> shuffle_stages() const;
+
+  // Topological order of stage ids; throws std::runtime_error on cycles.
+  std::vector<int> topological_order() const;
+
+  // Stages feeding into `id`.
+  std::vector<int> predecessors(int id) const;
+
+ private:
+  std::vector<Stage> stages_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+// Canonical graph shapes used by examples/benches: a linear ETL pipeline
+// (read -> transform -> group -> write) and a join-heavy analytics query.
+DataflowGraph make_etl_graph(int parallelism);
+DataflowGraph make_join_graph(int parallelism);
+
+}  // namespace byom::framework

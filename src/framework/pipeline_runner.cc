@@ -1,0 +1,146 @@
+#include "framework/pipeline_runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+#include "framework/shuffle.h"
+
+namespace byom::framework {
+
+namespace {
+double ln(double x) { return std::log(x); }
+}  // namespace
+
+FrameworkPipeline make_prototype_pipeline(int kind, int index,
+                                          std::uint64_t seed) {
+  common::Rng rng(seed ^ (0x51ULL + static_cast<std::uint64_t>(index) * 131));
+  FrameworkPipeline p;
+  const std::string idx = std::to_string(index);
+  switch (kind) {
+    case 0:  // HDD-suitable framework: small shuffle volume, sequential
+      p.name = "org_batch.etl-hdd-p" + idx + "-prod.dataimporter";
+      p.owner = "user0_batch";
+      p.build_target = "//batch/etl/pipelines:p" + idx + "_main";
+      p.graph = make_etl_graph(32);
+      p.bytes_per_execution_mu = ln(24.0 * static_cast<double>(common::kGiB));
+      // Heterogeneous shuffle volumes: small ETL shuffles fit into (and
+      // clog) tight SSD quotas, which is exactly FirstFit's failure mode.
+      p.bytes_per_execution_sigma = 1.2;
+      p.write_ratio = 1.0;
+      p.read_ratio = 1.05;
+      p.read_block_bytes = 768.0 * 1024.0;
+      p.write_block_bytes = 1024.0 * 1024.0;
+      p.cache_hit_fraction = 0.05;
+      p.lifetime_mu = ln(2.0 * 3600.0);
+      p.record_bytes = 4096.0;
+      break;
+    case 1:  // SSD-suitable framework: join-heavy large queries
+      p.name = "org_query.join-ssd-p" + idx + "-prod.dataimporter";
+      p.owner = "user1_query";
+      p.build_target = "//query/join/pipelines:p" + idx + "_main";
+      p.graph = make_join_graph(64);
+      p.bytes_per_execution_mu = ln(1.5 * static_cast<double>(common::kGiB));
+      p.write_ratio = 1.2;
+      p.read_ratio = 2.5;
+      p.read_block_bytes = 8.0 * 1024.0;
+      p.write_block_bytes = 128.0 * 1024.0;
+      p.cache_hit_fraction = 0.30;
+      p.lifetime_mu = ln(420.0);
+      p.record_bytes = 256.0;
+      break;
+    case 2:  // non-framework HDD-suitable: ML training checkpoints
+      p.name = "org_mltrain.ckpt-p" + idx + "-prod.saver";
+      p.owner = "user2_mltrain";
+      p.build_target = "//mltrain/ckpt:p" + idx + "_main";
+      p.graph = make_etl_graph(16);
+      p.framework_workload = false;
+      p.bytes_per_execution_mu = ln(40.0 * static_cast<double>(common::kGiB));
+      p.write_ratio = 1.0;
+      p.read_ratio = 0.1;
+      p.read_block_bytes = 1024.0 * 1024.0;
+      p.write_block_bytes = 1024.0 * 1024.0;
+      p.cache_hit_fraction = 0.02;
+      p.lifetime_mu = ln(8.0 * 3600.0);
+      p.record_bytes = 1 << 20;
+      break;
+    default:  // non-framework SSD-suitable: compress/upload temp files
+      p.name = "org_userflow.compress-p" + idx + "-prod.uploader";
+      p.owner = "user3_userflow";
+      p.build_target = "//userflow/compress:p" + idx + "_main";
+      p.graph = make_join_graph(16);
+      p.framework_workload = false;
+      p.bytes_per_execution_mu = ln(1.5 * static_cast<double>(common::kGiB));
+      p.write_ratio = 1.0;
+      p.read_ratio = 1.3;
+      p.read_block_bytes = 32.0 * 1024.0;
+      p.write_block_bytes = 32.0 * 1024.0;
+      p.cache_hit_fraction = 0.15;
+      p.lifetime_mu = ln(300.0);
+      p.record_bytes = 1024.0;
+      break;
+  }
+  // Small per-pipeline individuality so pipelines of one kind are not
+  // identical.
+  p.bytes_per_execution_mu += rng.normal(0.0, 0.2);
+  p.lifetime_mu += rng.normal(0.0, 0.15);
+  return p;
+}
+
+PipelineRunner::PipelineRunner(cost::Rates rates, std::uint64_t seed)
+    : cost_model_(rates), rng_(seed) {}
+
+std::vector<trace::Job> PipelineRunner::run(const FrameworkPipeline& pipeline,
+                                            double t) {
+  std::vector<trace::Job> jobs;
+  const auto shuffle_ids = pipeline.graph.shuffle_stages();
+  jobs.reserve(shuffle_ids.size());
+  for (const int stage_id : shuffle_ids) {
+    const Stage& stage = pipeline.graph.stage(stage_id);
+
+    trace::Job j;
+    j.job_id = next_job_id_++;
+    j.pipeline_name = pipeline.name;
+    j.step_name = stage.name;
+    j.user_name = stage.operation + "-" +
+                  std::to_string(rng_.uniform_index(40));
+    j.execution_name = "com.prototype." + pipeline.name + ".launcher.Main";
+    j.build_target_name = pipeline.build_target;
+    j.job_key = pipeline.name + "/" + stage.name;
+    j.framework_workload = pipeline.framework_workload;
+    j.arrival_time = t + rng_.uniform(0.0, 60.0);
+
+    const double bytes = rng_.lognormal(pipeline.bytes_per_execution_mu,
+                                        pipeline.bytes_per_execution_sigma);
+    j.peak_bytes = static_cast<std::uint64_t>(
+        std::max(bytes, 1.0 * static_cast<double>(common::kMiB)));
+    j.lifetime = std::max(
+        10.0, rng_.lognormal(pipeline.lifetime_mu, pipeline.lifetime_sigma));
+
+    j.io.bytes_written = static_cast<std::uint64_t>(
+        static_cast<double>(j.peak_bytes) * pipeline.write_ratio *
+        rng_.lognormal(0.0, 0.15));
+    j.io.bytes_read = static_cast<std::uint64_t>(
+        static_cast<double>(j.peak_bytes) * pipeline.read_ratio *
+        rng_.lognormal(0.0, 0.2));
+    j.io.avg_read_block =
+        pipeline.read_block_bytes * rng_.lognormal(0.0, 0.2);
+    j.io.avg_write_block =
+        pipeline.write_block_bytes * rng_.lognormal(0.0, 0.1);
+    j.io.dram_cache_hit_fraction = std::clamp(
+        pipeline.cache_hit_fraction + rng_.normal(0.0, 0.03), 0.0, 0.9);
+
+    const auto plan =
+        plan_shuffle(j.peak_bytes, pipeline.record_bytes, stage.parallelism,
+                     8);
+    j.resources = to_resources(plan);
+
+    j.history = history_.snapshot(j.job_key);
+    j.compute_costs(cost_model_);
+    history_.observe(j);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+}  // namespace byom::framework

@@ -1,0 +1,69 @@
+// Pipeline runner: executes a dataflow graph's shuffle stages at a point in
+// time and emits fully-populated trace::Jobs — the live-execution analogue
+// of the trace generator, used by the prototype-deployment benches
+// (Figures 5/13/14) and the examples.
+//
+// Each FrameworkPipeline carries the I/O character of its workload family
+// (bytes per execution, read/write mix, block sizes, cacheability); the
+// runner plans the shuffle, synthesizes metadata strings, attaches history
+// from its own tracker, and prices the job with the cost model.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "features/history.h"
+#include "framework/dataflow.h"
+#include "trace/job.h"
+
+namespace byom::framework {
+
+struct FrameworkPipeline {
+  std::string name;          // pipeline identifier
+  std::string owner;         // owning user
+  std::string build_target;  // build metadata
+  DataflowGraph graph;
+  bool framework_workload = true;  // false = conventional workload
+  // Per-execution I/O character.
+  double bytes_per_execution_mu = 0.0;  // log-normal mu of shuffled bytes
+  double bytes_per_execution_sigma = 0.5;
+  double write_ratio = 1.0;
+  double read_ratio = 1.2;
+  double read_block_bytes = 64.0 * 1024.0;
+  double write_block_bytes = 256.0 * 1024.0;
+  double cache_hit_fraction = 0.2;
+  double lifetime_mu = std::log(600.0);  // log-normal of job lifetime
+  double lifetime_sigma = 0.5;
+  double record_bytes = 1024.0;
+};
+
+// Pre-made pipelines matching the prototype evaluation mix:
+//   kind 0: HDD-suitable framework pipeline (few shuffles, sequential)
+//   kind 1: SSD-suitable framework pipeline (join-heavy, random reads)
+//   kind 2: HDD-suitable non-framework workload (ML checkpointing)
+//   kind 3: SSD-suitable non-framework workload (compress/upload temp files)
+FrameworkPipeline make_prototype_pipeline(int kind, int index,
+                                          std::uint64_t seed);
+
+class PipelineRunner {
+ public:
+  PipelineRunner(cost::Rates rates, std::uint64_t seed);
+
+  // Executes every shuffle stage of `pipeline` once at time `t`; returns
+  // one job per shuffle stage with history attached from prior runs.
+  std::vector<trace::Job> run(const FrameworkPipeline& pipeline, double t);
+
+  const features::HistoryTracker& history() const { return history_; }
+
+ private:
+  cost::CostModel cost_model_;
+  common::Rng rng_;
+  features::HistoryTracker history_;
+  std::uint64_t next_job_id_ = 1;
+};
+
+}  // namespace byom::framework

@@ -1,0 +1,56 @@
+#include "framework/shuffle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace byom::framework {
+
+ShufflePlan plan_shuffle(std::uint64_t bytes, double record_bytes,
+                         int workers, int threads_per_worker) {
+  ShufflePlan plan;
+  plan.num_workers = std::max(1, workers);
+  plan.worker_threads = std::max(1, threads_per_worker);
+  // Buckets target ~256 MiB of data each, at least one per worker so no
+  // worker idles, capping fan-out at 4 buckets per worker thread.
+  const double target_bucket_bytes = 256.0 * static_cast<double>(common::kMiB);
+  const auto by_size = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(bytes) / target_bucket_bytes));
+  plan.initial_num_buckets = std::clamp<std::int64_t>(
+      by_size, plan.num_workers,
+      plan.num_workers * plan.worker_threads * 4);
+  // Re-bucketing merges tiny buckets; keep at least one.
+  plan.num_buckets = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(static_cast<double>(plan.initial_num_buckets))));
+  // Two shards per bucket requested; sizing may trim the odd one.
+  plan.requested_num_shards = plan.num_buckets * 2;
+  plan.num_shards = std::max<std::int64_t>(1, plan.requested_num_shards - 1);
+  // Stripes: enough that each writer streams ~16 MiB at a time.
+  const double stripe_bytes = 16.0 * static_cast<double>(common::kMiB);
+  plan.initial_num_stripes = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::ceil(
+          static_cast<double>(bytes) /
+          (stripe_bytes * static_cast<double>(plan.num_shards)))),
+      1, 1024);
+  plan.records = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(bytes) /
+                                   std::max(record_bytes, 1.0)));
+  return plan;
+}
+
+trace::AllocatedResources to_resources(const ShufflePlan& plan) {
+  trace::AllocatedResources r;
+  r.bucket_sizing_initial_num_stripes = plan.initial_num_stripes;
+  r.bucket_sizing_num_shards = plan.num_shards;
+  r.bucket_sizing_num_worker_threads = plan.worker_threads;
+  r.bucket_sizing_num_workers = plan.num_workers;
+  r.initial_num_buckets = plan.initial_num_buckets;
+  r.num_buckets = plan.num_buckets;
+  r.records_written = plan.records;
+  r.requested_num_shards = plan.requested_num_shards;
+  return r;
+}
+
+}  // namespace byom::framework

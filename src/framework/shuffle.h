@@ -1,0 +1,34 @@
+// Shuffle-job planning (paper section 2.1 / Appendix B): the data a
+// workflow processes is divided into buckets; each bucket's tasks run on one
+// worker; workers shard bucket data and writers pack shards into stripes,
+// enabling parallel writes. A shuffle job has three steps — write raw
+// intermediate files, sort them, read them back — which may overlap.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/job.h"
+
+namespace byom::framework {
+
+struct ShufflePlan {
+  std::int64_t num_workers = 1;
+  std::int64_t worker_threads = 8;
+  std::int64_t initial_num_buckets = 1;
+  std::int64_t num_buckets = 1;
+  std::int64_t requested_num_shards = 1;
+  std::int64_t num_shards = 1;
+  std::int64_t initial_num_stripes = 16;
+  std::int64_t records = 1;
+};
+
+// Plans bucket/shard/stripe sizing for a shuffle moving `bytes` with
+// `record_bytes`-sized records across `workers` workers. Deterministic; the
+// paper's bucket-sizing heuristics aim at even work distribution.
+ShufflePlan plan_shuffle(std::uint64_t bytes, double record_bytes,
+                         int workers, int threads_per_worker);
+
+// Converts a plan into the AllocatedResources feature block of a job.
+trace::AllocatedResources to_resources(const ShufflePlan& plan);
+
+}  // namespace byom::framework

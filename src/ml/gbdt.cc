@@ -1,0 +1,237 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace byom::ml {
+
+namespace {
+
+// Numerically stable softmax over raw scores.
+void softmax_inplace(std::vector<double>& scores) {
+  double m = scores[0];
+  for (double s : scores) m = std::max(m, s);
+  double sum = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - m);
+    sum += s;
+  }
+  for (double& s : scores) s /= sum;
+}
+
+std::vector<std::uint32_t> subsample_rows(std::size_t n, double fraction,
+                                          common::Rng& rng) {
+  std::vector<std::uint32_t> rows;
+  if (fraction >= 1.0) {
+    rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = static_cast<std::uint32_t>(i);
+    return rows;
+  }
+  rows.reserve(static_cast<std::size_t>(static_cast<double>(n) * fraction) + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(fraction)) rows.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (rows.empty() && n > 0) rows.push_back(0);
+  return rows;
+}
+
+}  // namespace
+
+void GbdtClassifier::train(const Dataset& data, const std::vector<int>& labels,
+                           int num_classes, const GbdtParams& params) {
+  if (labels.size() != data.num_rows()) {
+    throw std::invalid_argument("GbdtClassifier: labels/rows mismatch");
+  }
+  if (num_classes < 2) {
+    throw std::invalid_argument("GbdtClassifier: need >= 2 classes");
+  }
+  for (int y : labels) {
+    if (y < 0 || y >= num_classes) {
+      throw std::invalid_argument("GbdtClassifier: label out of range");
+    }
+  }
+  num_classes_ = num_classes;
+  learning_rate_ = params.learning_rate;
+  trees_.clear();
+
+  const std::size_t n = data.num_rows();
+  const auto k = static_cast<std::size_t>(num_classes);
+  if (n == 0) return;
+
+  const Binner binner = Binner::fit(data, params.max_bins);
+  const auto codes = binner.transform(data);
+
+  // Raw scores F[k * n + i] and per-round probabilities P[k * n + i].
+  std::vector<double> scores(k * n, 0.0);
+  std::vector<double> probs(k * n, 0.0);
+  std::vector<double> grad(n), hess(n);
+  common::Rng rng(params.seed);
+
+  const int max_rounds =
+      std::min(params.num_rounds,
+               std::max(1, params.max_trees_total / num_classes));
+  std::vector<double> row_scores(k);
+  for (int round = 0; round < max_rounds; ++round) {
+    const auto rows = subsample_rows(n, params.row_subsample, rng);
+    // Softmax over classes, once per row per round.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < k; ++j) row_scores[j] = scores[j * n + i];
+      softmax_inplace(row_scores);
+      for (std::size_t j = 0; j < k; ++j) probs[j * n + i] = row_scores[j];
+    }
+    for (int cls = 0; cls < num_classes; ++cls) {
+      const auto c = static_cast<std::size_t>(cls);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double p = probs[c * n + i];
+        const double y = labels[i] == cls ? 1.0 : 0.0;
+        grad[i] = p - y;
+        hess[i] = std::max(p * (1.0 - p), 1e-6);
+      }
+      RegressionTree tree =
+          RegressionTree::fit(codes, binner, grad, hess, rows, params.tree);
+      for (std::size_t i = 0; i < n; ++i) {
+        scores[c * n + i] += learning_rate_ * tree.predict(data.row(i));
+      }
+      trees_.push_back(std::move(tree));
+    }
+  }
+}
+
+std::size_t GbdtClassifier::num_trees() const { return trees_.size(); }
+
+std::vector<double> GbdtClassifier::scores(const float* features) const {
+  std::vector<double> out(static_cast<std::size_t>(num_classes_), 0.0);
+  const auto k = static_cast<std::size_t>(num_classes_);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    out[t % k] += learning_rate_ * trees_[t].predict(features);
+  }
+  return out;
+}
+
+std::vector<double> GbdtClassifier::predict_proba(
+    const float* features) const {
+  auto s = scores(features);
+  softmax_inplace(s);
+  return s;
+}
+
+int GbdtClassifier::predict(const float* features) const {
+  const auto s = scores(features);
+  return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+void GbdtClassifier::save(std::ostream& out) const {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "gbdt_classifier v1\n";
+  out << num_classes_ << ' ' << trees_.size() << ' ' << learning_rate_ << '\n';
+  for (const auto& t : trees_) t.save(out);
+}
+
+GbdtClassifier GbdtClassifier::load(std::istream& in) {
+  std::string tag, version;
+  in >> tag >> version;
+  if (tag != "gbdt_classifier" || version != "v1") {
+    throw std::runtime_error("GbdtClassifier::load: bad header");
+  }
+  GbdtClassifier model;
+  std::size_t num_trees = 0;
+  in >> model.num_classes_ >> num_trees >> model.learning_rate_;
+  model.trees_.reserve(num_trees);
+  for (std::size_t i = 0; i < num_trees; ++i) {
+    model.trees_.push_back(RegressionTree::load(in));
+  }
+  return model;
+}
+
+void GbdtClassifier::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write model file: " + path);
+  save(out);
+}
+
+GbdtClassifier GbdtClassifier::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read model file: " + path);
+  return load(in);
+}
+
+std::vector<int> GbdtClassifier::split_counts(
+    std::size_t num_features) const {
+  std::vector<int> counts(num_features, 0);
+  for (const auto& t : trees_) t.add_split_counts(counts);
+  return counts;
+}
+
+void GbdtRegressor::train(const Dataset& data,
+                          const std::vector<double>& targets,
+                          const GbdtParams& params) {
+  if (targets.size() != data.num_rows()) {
+    throw std::invalid_argument("GbdtRegressor: targets/rows mismatch");
+  }
+  trees_.clear();
+  learning_rate_ = params.learning_rate;
+  const std::size_t n = data.num_rows();
+  if (n == 0) {
+    base_ = 0.0;
+    return;
+  }
+  double sum = 0.0;
+  for (double t : targets) sum += t;
+  base_ = sum / static_cast<double>(n);
+
+  const Binner binner = Binner::fit(data, params.max_bins);
+  const auto codes = binner.transform(data);
+
+  std::vector<double> pred(n, base_), grad(n), hess(n, 1.0);
+  common::Rng rng(params.seed ^ 0xA5A5A5A5ULL);
+  const int rounds = std::min(params.num_rounds, params.max_trees_total);
+  for (int round = 0; round < rounds; ++round) {
+    const auto rows = subsample_rows(n, params.row_subsample, rng);
+    for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - targets[i];
+    RegressionTree tree =
+        RegressionTree::fit(codes, binner, grad, hess, rows, params.tree);
+    for (std::size_t i = 0; i < n; ++i) {
+      pred[i] += learning_rate_ * tree.predict(data.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtRegressor::predict(const float* features) const {
+  double out = base_;
+  for (const auto& t : trees_) out += learning_rate_ * t.predict(features);
+  return out;
+}
+
+void GbdtRegressor::save(std::ostream& out) const {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "gbdt_regressor v1\n";
+  out << trees_.size() << ' ' << base_ << ' ' << learning_rate_ << '\n';
+  for (const auto& t : trees_) t.save(out);
+}
+
+GbdtRegressor GbdtRegressor::load(std::istream& in) {
+  std::string tag, version;
+  in >> tag >> version;
+  if (tag != "gbdt_regressor" || version != "v1") {
+    throw std::runtime_error("GbdtRegressor::load: bad header");
+  }
+  GbdtRegressor model;
+  std::size_t num_trees = 0;
+  in >> num_trees >> model.base_ >> model.learning_rate_;
+  model.trees_.reserve(num_trees);
+  for (std::size_t i = 0; i < num_trees; ++i) {
+    model.trees_.push_back(RegressionTree::load(in));
+  }
+  return model;
+}
+
+}  // namespace byom::ml

@@ -1,0 +1,85 @@
+// Gradient-boosted trees: multiclass softmax classifier and least-squares
+// regressor, both built on the histogram RegressionTree.
+//
+// This stands in for the Yggdrasil Decision Forests models the paper uses
+// (15-class categorical pointwise ranking model, <= 300 trees, depth <= 6).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/tree.h"
+
+namespace byom::ml {
+
+struct GbdtParams {
+  // Boosting stops when either rounds or the total tree budget is reached
+  // (the paper caps total trees at 300 for its 15-class models).
+  int num_rounds = 40;
+  int max_trees_total = 300;
+  double learning_rate = 0.15;
+  double row_subsample = 0.8;
+  int max_bins = 64;
+  std::uint64_t seed = 7;
+  TreeParams tree;
+};
+
+// Multiclass classifier with softmax cross-entropy Newton boosting: each
+// round fits one tree per class on (p_k - y_k, p_k (1 - p_k)).
+class GbdtClassifier {
+ public:
+  GbdtClassifier() = default;
+
+  void train(const Dataset& data, const std::vector<int>& labels,
+             int num_classes, const GbdtParams& params = GbdtParams{});
+
+  int num_classes() const { return num_classes_; }
+  std::size_t num_trees() const;
+  bool trained() const { return num_classes_ > 0; }
+
+  // Raw per-class scores and softmax probabilities for one feature row.
+  std::vector<double> scores(const float* features) const;
+  std::vector<double> predict_proba(const float* features) const;
+  int predict(const float* features) const;
+
+  // Text (de)serialization; the format is stable and human-inspectable.
+  void save(std::ostream& out) const;
+  static GbdtClassifier load(std::istream& in);
+  void save_file(const std::string& path) const;
+  static GbdtClassifier load_file(const std::string& path);
+
+  // Number of splits using each feature, summed over all trees.
+  std::vector<int> split_counts(std::size_t num_features) const;
+
+ private:
+  int num_classes_ = 0;
+  double learning_rate_ = 0.15;
+  // trees_[round * num_classes_ + k]
+  std::vector<RegressionTree> trees_;
+};
+
+// Scalar regressor with squared loss (grad = pred - target, hess = 1).
+class GbdtRegressor {
+ public:
+  GbdtRegressor() = default;
+
+  void train(const Dataset& data, const std::vector<double>& targets,
+             const GbdtParams& params = GbdtParams{});
+
+  bool trained() const { return !trees_.empty() || base_ != 0.0; }
+  double predict(const float* features) const;
+  std::size_t num_trees() const { return trees_.size(); }
+
+  void save(std::ostream& out) const;
+  static GbdtRegressor load(std::istream& in);
+
+ private:
+  double base_ = 0.0;
+  double learning_rate_ = 0.15;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace byom::ml

@@ -1,0 +1,41 @@
+// Feature-importance analysis reproducing the paper's Figure 9c method:
+// "For each feature, we measure the decrease in the area under the ROC
+//  curve (AUC) when that feature is excluded from binary prediction tasks"
+// (one binary task per category), with scores normalized per category.
+//
+// We realize "excluded" as permutation importance: shuffling a feature
+// column destroys its information while keeping the marginal distribution,
+// which is the standard model-agnostic equivalent of removal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+
+namespace byom::ml {
+
+struct CategoryImportance {
+  int category = 0;
+  double baseline_auc = 0.5;
+  // AUC decrease per feature when that feature is permuted; already
+  // normalized to sum to 1 within the category (0s when degenerate).
+  std::vector<double> auc_decrease;
+};
+
+// Computes per-category, per-feature AUC-decrease importance on a held-out
+// dataset. `repeats` permutations are averaged per feature.
+std::vector<CategoryImportance> auc_decrease_importance(
+    const GbdtClassifier& model, const Dataset& data,
+    const std::vector<int>& labels, common::Rng& rng, int repeats = 1);
+
+// Aggregates per-feature importance into named groups; `group_of[f]` maps a
+// feature index to a group index; result[group][category] is the mean
+// importance of the group's features for that category.
+std::vector<std::vector<double>> group_importance(
+    const std::vector<CategoryImportance>& imp,
+    const std::vector<int>& group_of, int num_groups);
+
+}  // namespace byom::ml

@@ -1,0 +1,113 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace byom::ml {
+
+double accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& labels) {
+  if (predicted.size() != labels.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  if (predicted.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
+double top_k_accuracy(const std::vector<std::vector<double>>& class_scores,
+                      const std::vector<int>& labels, int k) {
+  if (class_scores.size() != labels.size()) {
+    throw std::invalid_argument("top_k_accuracy: size mismatch");
+  }
+  if (class_scores.empty() || k <= 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < class_scores.size(); ++i) {
+    const auto& s = class_scores[i];
+    const double own = s[static_cast<std::size_t>(labels[i])];
+    int strictly_better = 0;
+    for (double v : s) {
+      if (v > own) ++strictly_better;
+    }
+    if (strictly_better < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(class_scores.size());
+}
+
+double binary_auc(const std::vector<double>& scores,
+                  const std::vector<int>& binary_labels) {
+  if (scores.size() != binary_labels.size()) {
+    throw std::invalid_argument("binary_auc: size mismatch");
+  }
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Average ranks across ties, then the Mann-Whitney U statistic.
+  std::vector<double> rank(scores.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                                2.0 + 1.0;
+    for (std::size_t t = i; t <= j; ++t) rank[order[t]] = avg_rank;
+    i = j + 1;
+  }
+
+  double positive_rank_sum = 0.0;
+  std::size_t num_pos = 0;
+  for (std::size_t r = 0; r < scores.size(); ++r) {
+    if (binary_labels[r]) {
+      positive_rank_sum += rank[r];
+      ++num_pos;
+    }
+  }
+  const std::size_t num_neg = scores.size() - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(num_pos) *
+                       (static_cast<double>(num_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+std::vector<std::vector<int>> confusion_matrix(
+    const std::vector<int>& predicted, const std::vector<int>& labels,
+    int num_classes) {
+  if (predicted.size() != labels.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  std::vector<std::vector<int>> m(
+      static_cast<std::size_t>(num_classes),
+      std::vector<int>(static_cast<std::size_t>(num_classes), 0));
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    m[static_cast<std::size_t>(labels[i])]
+     [static_cast<std::size_t>(predicted[i])]++;
+  }
+  return m;
+}
+
+double log_loss(const std::vector<std::vector<double>>& probabilities,
+                const std::vector<int>& labels) {
+  if (probabilities.size() != labels.size()) {
+    throw std::invalid_argument("log_loss: size mismatch");
+  }
+  if (probabilities.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    const double p = std::max(
+        probabilities[i][static_cast<std::size_t>(labels[i])], 1e-15);
+    total -= std::log(p);
+  }
+  return total / static_cast<double>(probabilities.size());
+}
+
+}  // namespace byom::ml

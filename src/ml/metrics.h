@@ -1,0 +1,34 @@
+// Classification/ranking metrics used by the model-analysis experiments
+// (Figure 9b accuracy, Figure 9c AUC-decrease importance, Table 4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace byom::ml {
+
+// Fraction of rows where predicted == label.
+double accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& labels);
+
+// Fraction of rows whose true label is among the k highest-scoring classes.
+// `class_scores[i]` holds per-class scores for row i.
+double top_k_accuracy(const std::vector<std::vector<double>>& class_scores,
+                      const std::vector<int>& labels, int k);
+
+// Area under the ROC curve for a binary task given real-valued scores.
+// Ties share rank (Mann-Whitney formulation). Returns 0.5 when one class
+// is absent.
+double binary_auc(const std::vector<double>& scores,
+                  const std::vector<int>& binary_labels);
+
+// Row-normalized confusion matrix counts: confusion[y][y_hat].
+std::vector<std::vector<int>> confusion_matrix(
+    const std::vector<int>& predicted, const std::vector<int>& labels,
+    int num_classes);
+
+// Multiclass cross-entropy on probability vectors.
+double log_loss(const std::vector<std::vector<double>>& probabilities,
+                const std::vector<int>& labels);
+
+}  // namespace byom::ml

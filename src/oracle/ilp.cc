@@ -1,0 +1,124 @@
+#include "oracle/ilp.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "oracle/timeline.h"
+
+namespace byom::oracle {
+
+double job_value(const trace::Job& job, Objective objective,
+                 const cost::CostModel& model) {
+  switch (objective) {
+    case Objective::kTco:
+      return job.tco_saving();
+    case Objective::kTcio:
+      return model.tcio_seconds_hdd(job.cost_inputs());
+  }
+  return 0.0;
+}
+
+namespace {
+
+struct Candidate {
+  std::size_t index;  // into the original job vector
+  double value;
+  double size;
+  double a, e;  // interval
+};
+
+struct BnbState {
+  const std::vector<Candidate>* cands = nullptr;
+  double capacity = 0.0;
+  CapacityTimeline* timeline = nullptr;
+  std::vector<bool> chosen;
+  std::vector<bool> best_chosen;
+  double value = 0.0;
+  double best_value = 0.0;
+  std::vector<double> suffix_positive;  // sum of positive values from i on
+};
+
+void bnb(BnbState& s, std::size_t i) {
+  const auto& cands = *s.cands;
+  if (i == cands.size()) {
+    if (s.value > s.best_value) {
+      s.best_value = s.value;
+      s.best_chosen = s.chosen;
+    }
+    return;
+  }
+  // Bound: even taking every remaining positive-value job can't beat best.
+  if (s.value + s.suffix_positive[i] <= s.best_value) return;
+
+  const Candidate& c = cands[i];
+  // Branch 1: take (if it fits and helps).
+  if (c.value > 0.0 &&
+      s.timeline->max_in(c.a, c.e) + c.size <= s.capacity + 1e-6) {
+    s.timeline->add(c.a, c.e, c.size);
+    s.chosen[i] = true;
+    s.value += c.value;
+    bnb(s, i + 1);
+    s.value -= c.value;
+    s.chosen[i] = false;
+    s.timeline->add(c.a, c.e, -c.size);
+  }
+  // Branch 2: skip.
+  bnb(s, i + 1);
+}
+
+}  // namespace
+
+Result solve_exact(const std::vector<trace::Job>& jobs,
+                   std::uint64_t ssd_capacity_bytes, Objective objective,
+                   const cost::CostModel& model) {
+  if (jobs.size() > 28) {
+    throw std::invalid_argument(
+        "solve_exact is exponential; use the greedy oracle above 28 jobs");
+  }
+  std::vector<Candidate> cands;
+  std::vector<double> points;
+  cands.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& j = jobs[i];
+    cands.push_back({i, job_value(j, objective, model),
+                     static_cast<double>(j.peak_bytes), j.arrival_time,
+                     j.end_time()});
+    points.push_back(j.arrival_time);
+    points.push_back(j.end_time());
+  }
+  // Order by value density; greatly improves pruning.
+  std::sort(cands.begin(), cands.end(), [](const Candidate& a,
+                                           const Candidate& b) {
+    const double da = a.value / std::max(a.size * (a.e - a.a), 1.0);
+    const double db = b.value / std::max(b.size * (b.e - b.a), 1.0);
+    return da > db;
+  });
+
+  CapacityTimeline timeline(points);
+  BnbState s;
+  s.cands = &cands;
+  s.capacity = static_cast<double>(ssd_capacity_bytes);
+  s.timeline = &timeline;
+  s.chosen.assign(cands.size(), false);
+  s.best_chosen = s.chosen;
+  s.suffix_positive.assign(cands.size() + 1, 0.0);
+  for (std::size_t i = cands.size(); i-- > 0;) {
+    s.suffix_positive[i] =
+        s.suffix_positive[i + 1] + std::max(0.0, cands[i].value);
+  }
+  bnb(s, 0);
+
+  Result result;
+  result.on_ssd.assign(jobs.size(), false);
+  result.objective_value = s.best_value;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (s.best_chosen[i]) {
+      result.on_ssd[cands[i].index] = true;
+      ++result.num_selected;
+    }
+  }
+  return result;
+}
+
+}  // namespace byom::oracle

@@ -1,0 +1,77 @@
+#include "oracle/timeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace byom::oracle {
+
+CapacityTimeline::CapacityTimeline(std::vector<double> breakpoints)
+    : points_(std::move(breakpoints)) {
+  std::sort(points_.begin(), points_.end());
+  points_.erase(std::unique(points_.begin(), points_.end()), points_.end());
+  if (points_.size() < 2) {
+    // Degenerate timeline: no spans. Keep a single empty segment.
+    points_ = {0.0, 1.0};
+  }
+  num_segments_ = points_.size() - 1;
+  tree_.assign(4 * num_segments_, 0.0);
+  lazy_.assign(4 * num_segments_, 0.0);
+}
+
+std::size_t CapacityTimeline::index_of(double t) const {
+  auto it = std::lower_bound(points_.begin(), points_.end(), t);
+  if (it == points_.end() || *it != t) {
+    throw std::invalid_argument(
+        "CapacityTimeline: time is not a registered breakpoint");
+  }
+  return static_cast<std::size_t>(it - points_.begin());
+}
+
+void CapacityTimeline::add(double t0, double t1, double amount) {
+  if (!(t1 > t0) || amount == 0.0) return;
+  const std::size_t l = index_of(t0);
+  const std::size_t r = index_of(t1);  // exclusive segment bound
+  if (l >= r) return;
+  update(1, 0, num_segments_, l, r, amount);
+}
+
+double CapacityTimeline::max_in(double t0, double t1) const {
+  if (!(t1 > t0)) return 0.0;
+  const std::size_t l = index_of(t0);
+  const std::size_t r = index_of(t1);
+  if (l >= r) return 0.0;
+  return query(1, 0, num_segments_, l, r);
+}
+
+double CapacityTimeline::global_max() const {
+  return query(1, 0, num_segments_, 0, num_segments_);
+}
+
+void CapacityTimeline::update(std::size_t node, std::size_t lo,
+                              std::size_t hi, std::size_t l, std::size_t r,
+                              double amount) {
+  if (r <= lo || hi <= l) return;
+  if (l <= lo && hi <= r) {
+    tree_[node] += amount;
+    lazy_[node] += amount;
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  update(2 * node, lo, mid, l, r, amount);
+  update(2 * node + 1, mid, hi, l, r, amount);
+  tree_[node] = std::max(tree_[2 * node], tree_[2 * node + 1]) + lazy_[node];
+}
+
+double CapacityTimeline::query(std::size_t node, std::size_t lo,
+                               std::size_t hi, std::size_t l,
+                               std::size_t r) const {
+  if (r <= lo || hi <= l) return -1e300;
+  if (l <= lo && hi <= r) return tree_[node];
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const double best =
+      std::max(query(2 * node, lo, mid, l, r),
+               query(2 * node + 1, mid, hi, l, r));
+  return best + lazy_[node];
+}
+
+}  // namespace byom::oracle

@@ -1,0 +1,45 @@
+// Capacity timeline: tracks total SSD occupancy over time and answers
+// "does this job fit under capacity M for its whole lifetime?" queries.
+//
+// Implemented as a lazy range-add / range-max segment tree over the
+// compressed set of interval endpoints, so oracle solvers run in
+// O(N log N) over thousands of jobs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace byom::oracle {
+
+class CapacityTimeline {
+ public:
+  // `breakpoints` must contain every interval endpoint that will ever be
+  // passed to add()/max_in(). Duplicates allowed; the constructor sorts and
+  // dedups.
+  explicit CapacityTimeline(std::vector<double> breakpoints);
+
+  // Adds `amount` (can be negative) to occupancy over [t0, t1).
+  void add(double t0, double t1, double amount);
+
+  // Maximum occupancy over [t0, t1). Returns 0 for empty/inverted ranges.
+  double max_in(double t0, double t1) const;
+
+  // Maximum occupancy over all time.
+  double global_max() const;
+
+ private:
+  // Resolve a time to its segment index (time must be a known breakpoint).
+  std::size_t index_of(double t) const;
+
+  void update(std::size_t node, std::size_t lo, std::size_t hi,
+              std::size_t l, std::size_t r, double amount);
+  double query(std::size_t node, std::size_t lo, std::size_t hi,
+               std::size_t l, std::size_t r) const;
+
+  std::vector<double> points_;   // sorted unique endpoints
+  std::size_t num_segments_ = 0;  // points_.size() - 1
+  mutable std::vector<double> tree_;
+  mutable std::vector<double> lazy_;
+};
+
+}  // namespace byom::oracle

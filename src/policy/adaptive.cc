@@ -1,0 +1,118 @@
+#include "policy/adaptive.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace byom::policy {
+
+AdaptiveCategoryPolicy::AdaptiveCategoryPolicy(std::string name,
+                                               CategoryFn category_fn,
+                                               const AdaptiveConfig& config)
+    : name_(std::move(name)),
+      category_fn_(std::move(category_fn)),
+      config_(config),
+      act_(config.initial_act) {
+  if (config_.num_categories < 2) {
+    throw std::invalid_argument("AdaptiveCategoryPolicy: N >= 2 required");
+  }
+  if (!(config_.spillover_lower <= config_.spillover_upper)) {
+    throw std::invalid_argument(
+        "AdaptiveCategoryPolicy: tolerance range inverted");
+  }
+  act_ = std::clamp(act_, 1, config_.num_categories - 1);
+}
+
+double AdaptiveCategoryPolicy::spillover_percentage(double t) const {
+  // P(X, t) = sum_i SPILLOVER_TCIO(x_i, t) / sum_i DEV_i * TCIO_HDD_i(t),
+  // where TCIO_HDD(t) is the TCIO accrued on HDD up to t and spillover
+  // starts at the job's arrival in our partial-fit model (t_s = t_a).
+  double spilled = 0.0;
+  double scheduled = 0.0;
+  for (const auto& h : history_) {
+    if (!h.scheduled_ssd) continue;
+    const double elapsed = std::clamp(t - h.arrival, 0.0, h.lifetime);
+    const double accrued = h.tcio_seconds_hdd * (elapsed / h.lifetime);
+    scheduled += accrued;
+    spilled += h.spill_fraction * accrued;
+  }
+  if (scheduled <= 0.0) return 0.0;
+  return spilled / scheduled;
+}
+
+void AdaptiveCategoryPolicy::expire_history(double t) {
+  const double ws = t - config_.lookback_window;
+  if (config_.window_by_overlap) {
+    // Keep jobs whose [arrival, end) overlaps the window.
+    while (!history_.empty() && history_.front().end <= ws) {
+      history_.pop_front();
+    }
+  } else {
+    // Keep jobs *starting within* the window (paper's preferred variant).
+    while (!history_.empty() && history_.front().arrival <= ws) {
+      history_.pop_front();
+    }
+  }
+}
+
+Device AdaptiveCategoryPolicy::decide(const trace::Job& job,
+                                      const StorageView& view) {
+  (void)view;
+  const double t = job.arrival_time;
+  // ACT update, at most once per decision interval.
+  if (t >= last_decision_time_ + config_.decision_interval) {
+    expire_history(t);
+    bool any_scheduled = false;
+    for (const auto& h : history_) {
+      if (h.scheduled_ssd) {
+        any_scheduled = true;
+        break;
+      }
+    }
+    const double spill = spillover_percentage(t);
+    // No SSD-scheduled observations in the window means no feedback signal;
+    // leave the threshold untouched rather than treating silence as room.
+    if (any_scheduled) {
+      if (spill < config_.spillover_lower) {
+        act_ = std::max(1, act_ - 1);  // room available: admit more
+      } else if (spill > config_.spillover_upper) {
+        act_ = std::min(config_.num_categories - 1,
+                        act_ + 1);  // nearly full: admit fewer
+      }
+    }
+    last_decision_time_ = t;
+    decision_log_.push_back({t, act_, spill});
+  }
+
+  const int category =
+      std::clamp(category_fn_(job), 0, config_.num_categories - 1);
+  last_category_ = category;
+  return category >= act_ ? Device::kSsd : Device::kHdd;
+}
+
+void AdaptiveCategoryPolicy::on_placed(const trace::Job& job,
+                                       const PlacementOutcome& outcome) {
+  HistoryEntry h;
+  h.arrival = job.arrival_time;
+  h.end = job.end_time();
+  h.lifetime = std::max(job.lifetime, 1.0);
+  h.tcio_seconds_hdd = job.tcio_hdd * h.lifetime;
+  h.spill_fraction = outcome.spill_fraction;
+  h.scheduled_ssd = outcome.scheduled == Device::kSsd;
+  history_.push_back(h);
+}
+
+AdaptiveCategoryPolicy::CategoryFn hash_category_fn(int num_categories) {
+  if (num_categories < 2) {
+    throw std::invalid_argument("hash_category_fn: N >= 2 required");
+  }
+  return [num_categories](const trace::Job& job) {
+    const std::uint64_t h = common::fnv1a(job.job_key);
+    return 1 + static_cast<int>(
+                   h % static_cast<std::uint64_t>(num_categories - 1));
+  };
+}
+
+}  // namespace byom::policy

@@ -1,0 +1,59 @@
+#include "policy/cachesack.h"
+
+#include <algorithm>
+#include <map>
+
+namespace byom::policy {
+
+namespace {
+
+struct CategoryStats {
+  double tco_savings = 0.0;
+  double byte_seconds = 0.0;
+};
+
+}  // namespace
+
+CacheSackPolicy::CacheSackPolicy(const std::vector<trace::Job>& history_jobs,
+                                 std::uint64_t ssd_capacity_bytes) {
+  if (history_jobs.empty()) return;
+  double t_min = history_jobs.front().arrival_time;
+  double t_max = t_min;
+  std::map<std::string, CategoryStats> stats;
+  for (const auto& j : history_jobs) {
+    auto& s = stats[j.job_key];
+    s.tco_savings += j.tco_saving();
+    s.byte_seconds += static_cast<double>(j.peak_bytes) * j.lifetime;
+    t_min = std::min(t_min, j.arrival_time);
+    t_max = std::max(t_max, j.end_time());
+  }
+  const double span = std::max(t_max - t_min, 1.0);
+
+  std::vector<std::pair<std::string, CategoryStats>> ranked(stats.begin(),
+                                                            stats.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.tco_savings > b.second.tco_savings;
+            });
+
+  double admitted_space = 0.0;
+  const double capacity = static_cast<double>(ssd_capacity_bytes);
+  for (const auto& [key, s] : ranked) {
+    if (s.tco_savings <= 0.0) break;  // only cost-saving categories help
+    const double avg_occupancy = s.byte_seconds / span;
+    if (admitted_space + avg_occupancy > capacity && !admitted_.empty()) {
+      break;
+    }
+    admitted_.insert(key);
+    admitted_space += avg_occupancy;
+    if (admitted_space >= capacity) break;
+  }
+}
+
+Device CacheSackPolicy::decide(const trace::Job& job,
+                               const StorageView& view) {
+  (void)view;
+  return admitted_.count(job.job_key) > 0 ? Device::kSsd : Device::kHdd;
+}
+
+}  // namespace byom::policy

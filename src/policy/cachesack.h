@@ -1,0 +1,42 @@
+// "Heuristic" baseline (paper section 3.3): an adaptation of CacheSack
+// (Yang et al., USENIX ATC 2022) from cache admission to placement.
+//
+// Using the training week, jobs are grouped into categories by their job ID
+// (the recurring pipeline/step key). Each category's historical TCO savings
+// and space usage are measured; categories are ranked by savings and added
+// to the admission set until cumulative historical space usage reaches the
+// SSD capacity. Online, a job is placed on SSD iff its category is in the
+// admission set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "policy/policy.h"
+#include "trace/trace.h"
+
+namespace byom::policy {
+
+class CacheSackPolicy final : public PlacementPolicy {
+ public:
+  // Builds the admission set from historical (training) jobs under the
+  // given capacity. Space usage per category is its average concurrent
+  // occupancy (byte-seconds / trace span).
+  CacheSackPolicy(const std::vector<trace::Job>& history_jobs,
+                  std::uint64_t ssd_capacity_bytes);
+
+  std::string name() const override { return "Heuristic"; }
+  Device decide(const trace::Job& job, const StorageView& view) override;
+
+  std::size_t admission_set_size() const { return admitted_.size(); }
+  bool admits(const std::string& job_key) const {
+    return admitted_.count(job_key) > 0;
+  }
+
+ private:
+  std::unordered_set<std::string> admitted_;
+};
+
+}  // namespace byom::policy

@@ -1,0 +1,11 @@
+#include "policy/first_fit.h"
+
+namespace byom::policy {
+
+Device FirstFitPolicy::decide(const trace::Job& job,
+                              const StorageView& view) {
+  return job.peak_bytes <= view.ssd_free_bytes() ? Device::kSsd
+                                                 : Device::kHdd;
+}
+
+}  // namespace byom::policy

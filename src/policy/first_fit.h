@@ -1,0 +1,18 @@
+// FirstFit baseline (paper section 3.2): place jobs on SSD in arrival order
+// whenever their peak space usage fits in the currently free SSD capacity.
+// Representative of deployed FIFO/LRU-style tiering heuristics; optimizes
+// TCIO under plentiful SSD but ignores cost, so it wastes expensive SSD on
+// low-value jobs when capacity is scarce.
+#pragma once
+
+#include "policy/policy.h"
+
+namespace byom::policy {
+
+class FirstFitPolicy final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "FirstFit"; }
+  Device decide(const trace::Job& job, const StorageView& view) override;
+};
+
+}  // namespace byom::policy

@@ -1,0 +1,54 @@
+#include "policy/lifetime_ml.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace byom::policy {
+
+LifetimeMlPolicy::LifetimeMlPolicy(const std::vector<trace::Job>& train_jobs,
+                                   const LifetimeMlConfig& config)
+    : config_(config) {
+  const auto data = extractor_.make_dataset(train_jobs);
+  std::vector<double> log_lifetimes;
+  log_lifetimes.reserve(train_jobs.size());
+  for (const auto& j : train_jobs) {
+    log_lifetimes.push_back(std::log(std::max(j.lifetime, 1.0)));
+  }
+  mean_model_.train(data, log_lifetimes, config_.gbdt);
+
+  // Residual second-moment model for sigma.
+  std::vector<double> squared_residuals;
+  squared_residuals.reserve(train_jobs.size());
+  for (std::size_t i = 0; i < train_jobs.size(); ++i) {
+    const double mu = mean_model_.predict(data.row(i));
+    const double r = log_lifetimes[i] - mu;
+    squared_residuals.push_back(r * r);
+  }
+  variance_model_.train(data, squared_residuals, config_.gbdt);
+}
+
+double LifetimeMlPolicy::predicted_lifetime_bound(
+    const trace::Job& job) const {
+  const auto features = extractor_.extract(job);
+  const double mu_log = mean_model_.predict(features.data());
+  const double var_log =
+      std::max(0.0, variance_model_.predict(features.data()));
+  const double sigma_log = std::sqrt(var_log);
+  // mu + sigma in log space maps to the (68th-percentile) lifetime bound.
+  return std::exp(mu_log + sigma_log);
+}
+
+Device LifetimeMlPolicy::decide(const trace::Job& job,
+                                const StorageView& view) {
+  (void)view;
+  return predicted_lifetime_bound(job) < config_.ttl_seconds ? Device::kSsd
+                                                             : Device::kHdd;
+}
+
+double LifetimeMlPolicy::eviction_ttl(const trace::Job& job) const {
+  // "To mitigate mispredictions, we evict any file residing in the SSD for
+  // longer than mu + sigma" (paper section 3.4).
+  return predicted_lifetime_bound(job);
+}
+
+}  // namespace byom::policy

@@ -1,0 +1,45 @@
+// ML baseline (paper section 3.4), following Zhou & Maas (MLSys 2021):
+// predict the mean (mu) and standard deviation (sigma) of a job's lifetime;
+// admit to SSD when mu + sigma is below the configured TTL, and evict any
+// resident job after mu + sigma seconds to bound misprediction cost.
+//
+// Lifetimes are heavy-tailed, so both models operate in log space: a GBDT
+// regressor predicts E[log lifetime] and a second regressor predicts the
+// residual second moment, from which sigma is derived.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "features/feature_extractor.h"
+#include "ml/gbdt.h"
+#include "policy/policy.h"
+#include "trace/trace.h"
+
+namespace byom::policy {
+
+struct LifetimeMlConfig {
+  double ttl_seconds = 2.0 * 3600.0;  // admission threshold on mu + sigma
+  ml::GbdtParams gbdt;
+};
+
+class LifetimeMlPolicy final : public PlacementPolicy {
+ public:
+  LifetimeMlPolicy(const std::vector<trace::Job>& train_jobs,
+                   const LifetimeMlConfig& config = {});
+
+  std::string name() const override { return "MLBaseline"; }
+  Device decide(const trace::Job& job, const StorageView& view) override;
+  double eviction_ttl(const trace::Job& job) const override;
+
+  // Predicted mu + sigma in seconds (exposed for tests/analysis).
+  double predicted_lifetime_bound(const trace::Job& job) const;
+
+ private:
+  LifetimeMlConfig config_;
+  features::FeatureExtractor extractor_;
+  ml::GbdtRegressor mean_model_;      // E[log lifetime]
+  ml::GbdtRegressor variance_model_;  // E[(log lifetime - mu)^2]
+};
+
+}  // namespace byom::policy

@@ -1,0 +1,28 @@
+#include "policy/oracle_replay.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace byom::policy {
+
+OracleReplayPolicy::OracleReplayPolicy(std::string name,
+                                       const std::vector<trace::Job>& jobs,
+                                       const oracle::Result& result)
+    : name_(std::move(name)) {
+  if (jobs.size() != result.on_ssd.size()) {
+    throw std::invalid_argument("OracleReplayPolicy: jobs/result mismatch");
+  }
+  on_ssd_.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    on_ssd_[jobs[i].job_id] = result.on_ssd[i];
+  }
+}
+
+Device OracleReplayPolicy::decide(const trace::Job& job,
+                                  const StorageView& view) {
+  (void)view;
+  const auto it = on_ssd_.find(job.job_id);
+  return it != on_ssd_.end() && it->second ? Device::kSsd : Device::kHdd;
+}
+
+}  // namespace byom::policy

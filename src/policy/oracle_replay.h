@@ -1,0 +1,30 @@
+// Policy adapter that replays a precomputed oracle solution (the clairvoyant
+// Oracle TCO / Oracle TCIO upper bounds of paper section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "oracle/ilp.h"
+#include "policy/policy.h"
+#include "trace/trace.h"
+
+namespace byom::policy {
+
+class OracleReplayPolicy final : public PlacementPolicy {
+ public:
+  // `jobs` and `result.on_ssd` must be parallel (as returned by the
+  // oracle solvers when invoked on the same job vector).
+  OracleReplayPolicy(std::string name, const std::vector<trace::Job>& jobs,
+                     const oracle::Result& result);
+
+  std::string name() const override { return name_; }
+  Device decide(const trace::Job& job, const StorageView& view) override;
+
+ private:
+  std::string name_;
+  std::unordered_map<std::uint64_t, bool> on_ssd_;
+};
+
+}  // namespace byom::policy

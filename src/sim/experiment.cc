@@ -1,0 +1,119 @@
+#include "sim/experiment.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "oracle/greedy_oracle.h"
+#include "policy/cachesack.h"
+#include "policy/first_fit.h"
+#include "policy/lifetime_ml.h"
+#include "policy/oracle_replay.h"
+
+namespace byom::sim {
+
+const char* method_name(MethodId id) {
+  switch (id) {
+    case MethodId::kFirstFit: return "FirstFit";
+    case MethodId::kHeuristic: return "Heuristic";
+    case MethodId::kMlBaseline: return "MLBaseline";
+    case MethodId::kAdaptiveHash: return "AdaptiveHash";
+    case MethodId::kAdaptiveRanking: return "AdaptiveRanking";
+    case MethodId::kOracleTco: return "OracleTCO";
+    case MethodId::kOracleTcio: return "OracleTCIO";
+    case MethodId::kTrueCategory: return "TrueCategory";
+  }
+  return "Unknown";
+}
+
+std::uint64_t quota_capacity(const trace::Trace& test, double quota_fraction) {
+  const auto peak = static_cast<double>(test.peak_concurrent_bytes());
+  return static_cast<std::uint64_t>(peak * quota_fraction);
+}
+
+MethodFactory::MethodFactory(trace::Trace train, cost::Rates rates,
+                             core::CategoryModelConfig model_config,
+                             policy::AdaptiveConfig adaptive_config)
+    : train_(std::move(train)),
+      cost_model_(rates),
+      model_config_(model_config),
+      adaptive_config_(adaptive_config) {
+  adaptive_config_.num_categories = model_config_.num_categories;
+}
+
+const core::CategoryModel& MethodFactory::category_model() const {
+  if (!model_.has_value()) {
+    model_ = core::CategoryModel::train(train_.jobs(), model_config_);
+  }
+  return *model_;
+}
+
+void MethodFactory::set_category_model(core::CategoryModel model) {
+  model_ = std::move(model);
+}
+
+std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
+    MethodId id, const trace::Trace& test,
+    std::uint64_t ssd_capacity_bytes) const {
+  switch (id) {
+    case MethodId::kFirstFit:
+      return std::make_unique<policy::FirstFitPolicy>();
+    case MethodId::kHeuristic:
+      return std::make_unique<policy::CacheSackPolicy>(train_.jobs(),
+                                                       ssd_capacity_bytes);
+    case MethodId::kMlBaseline:
+      return std::make_unique<policy::LifetimeMlPolicy>(train_.jobs());
+    case MethodId::kAdaptiveHash:
+      return std::make_unique<policy::AdaptiveCategoryPolicy>(
+          "AdaptiveHash",
+          policy::hash_category_fn(adaptive_config_.num_categories),
+          adaptive_config_);
+    case MethodId::kAdaptiveRanking: {
+      // Copy the trained model into the closure: the policy must stay valid
+      // independently of this factory's lifetime.
+      auto model = std::make_shared<core::CategoryModel>(category_model());
+      return std::make_unique<policy::AdaptiveCategoryPolicy>(
+          "AdaptiveRanking",
+          [model](const trace::Job& job) {
+            return model->predict_category(job);
+          },
+          adaptive_config_);
+    }
+    case MethodId::kTrueCategory: {
+      auto model = std::make_shared<core::CategoryModel>(category_model());
+      return std::make_unique<policy::AdaptiveCategoryPolicy>(
+          "TrueCategory",
+          [model](const trace::Job& job) {
+            return model->true_category(job);
+          },
+          adaptive_config_);
+    }
+    case MethodId::kOracleTco: {
+      const auto solution = oracle::solve_greedy(
+          test.jobs(), ssd_capacity_bytes, oracle::Objective::kTco,
+          cost_model_);
+      return std::make_unique<policy::OracleReplayPolicy>(
+          "OracleTCO", test.jobs(), solution);
+    }
+    case MethodId::kOracleTcio: {
+      const auto solution = oracle::solve_greedy(
+          test.jobs(), ssd_capacity_bytes, oracle::Objective::kTcio,
+          cost_model_);
+      return std::make_unique<policy::OracleReplayPolicy>(
+          "OracleTCIO", test.jobs(), solution);
+    }
+  }
+  throw std::invalid_argument("MethodFactory::make: unknown method");
+}
+
+SimResult run_method(const MethodFactory& factory, MethodId id,
+                     const trace::Trace& test,
+                     std::uint64_t ssd_capacity_bytes, bool record_outcomes) {
+  const auto policy = factory.make(id, test, ssd_capacity_bytes);
+  SimConfig config;
+  config.ssd_capacity_bytes = ssd_capacity_bytes;
+  config.rates = factory.cost_model().rates();
+  config.record_outcomes = record_outcomes;
+  return simulate(test, *policy, config);
+}
+
+}  // namespace byom::sim

@@ -1,0 +1,87 @@
+// Experiment harness shared by the figure/table benches: trains everything a
+// method needs from a cluster's training split, builds the policy, and runs
+// the placement simulation on the test split.
+//
+// Methods (paper section 5.1 "Methods Compared"):
+//   FirstFit, Heuristic, MLBaseline, AdaptiveHash, AdaptiveRanking,
+//   OracleTCO, OracleTCIO — plus TrueCategory (Figure 11's perfect-model
+//   variant of AdaptiveRanking).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/category_model.h"
+#include "cost/cost_model.h"
+#include "policy/adaptive.h"
+#include "policy/policy.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/trace.h"
+
+namespace byom::sim {
+
+enum class MethodId {
+  kFirstFit,
+  kHeuristic,
+  kMlBaseline,
+  kAdaptiveHash,
+  kAdaptiveRanking,
+  kOracleTco,
+  kOracleTcio,
+  kTrueCategory,
+};
+
+const char* method_name(MethodId id);
+
+// Capacity for a quota expressed as a fraction of the test trace's peak
+// concurrent usage (paper: "SSD Quota: Portion of the Peak SSD Usage").
+std::uint64_t quota_capacity(const trace::Trace& test, double quota_fraction);
+
+// Trains/caches per-cluster artifacts and manufactures policies.
+class MethodFactory {
+ public:
+  MethodFactory(trace::Trace train, cost::Rates rates = {},
+                core::CategoryModelConfig model_config = {},
+                policy::AdaptiveConfig adaptive_config = {});
+
+  // Builds a ready-to-run policy. Oracle methods are clairvoyant and need
+  // the test trace and capacity; the others ignore them at build time.
+  std::unique_ptr<policy::PlacementPolicy> make(
+      MethodId id, const trace::Trace& test,
+      std::uint64_t ssd_capacity_bytes) const;
+
+  // Lazily trained category model (shared across makes).
+  const core::CategoryModel& category_model() const;
+  // Swap in an externally trained model (cross-cluster generalization
+  // studies train on cluster A and deploy on cluster B).
+  void set_category_model(core::CategoryModel model);
+
+  const trace::Trace& train_trace() const { return train_; }
+  const cost::CostModel& cost_model() const { return cost_model_; }
+  const policy::AdaptiveConfig& adaptive_config() const {
+    return adaptive_config_;
+  }
+  void set_adaptive_config(const policy::AdaptiveConfig& config) {
+    adaptive_config_ = config;
+  }
+
+ private:
+  trace::Trace train_;
+  cost::CostModel cost_model_;
+  core::CategoryModelConfig model_config_;
+  policy::AdaptiveConfig adaptive_config_;
+  mutable std::optional<core::CategoryModel> model_;
+};
+
+// Convenience: build policy for `id`, simulate `test` under the quota, and
+// return the result.
+SimResult run_method(const MethodFactory& factory, MethodId id,
+                     const trace::Trace& test,
+                     std::uint64_t ssd_capacity_bytes,
+                     bool record_outcomes = false);
+
+}  // namespace byom::sim

@@ -1,0 +1,48 @@
+#include "sim/metrics.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace byom::sim {
+
+SweepTable::SweepTable(std::string x_name,
+                       std::vector<std::string> method_names)
+    : x_name_(std::move(x_name)), method_names_(std::move(method_names)) {}
+
+void SweepTable::add_row(double x, const std::vector<double>& values) {
+  if (values.size() != method_names_.size()) {
+    throw std::invalid_argument("SweepTable: row width mismatch");
+  }
+  rows_.push_back({x, values});
+}
+
+std::string SweepTable::to_csv(int precision) const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << x_name_;
+  for (const auto& m : method_names_) out << ',' << m;
+  out << '\n';
+  for (const auto& row : rows_) {
+    out << row.x;
+    for (double v : row.values) out << ',' << v;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string improvement_factor(double ours, double baseline) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  if (std::abs(baseline) < 1e-9) {
+    out << "inf";
+  } else {
+    out << (ours / baseline);
+  }
+  out << 'x';
+  return out.str();
+}
+
+}  // namespace byom::sim

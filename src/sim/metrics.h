@@ -1,0 +1,41 @@
+// Result aggregation and table formatting shared by the figure benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace byom::sim {
+
+// One figure series: x values (e.g. SSD quota fraction) against one value
+// per method. Prints as CSV with a header row.
+class SweepTable {
+ public:
+  SweepTable(std::string x_name, std::vector<std::string> method_names);
+
+  void add_row(double x, const std::vector<double>& values);
+
+  // CSV text (header + rows), values with fixed precision.
+  std::string to_csv(int precision = 4) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  double value(std::size_t row, std::size_t method) const {
+    return rows_[row].values[method];
+  }
+  double x(std::size_t row) const { return rows_[row].x; }
+
+ private:
+  struct Row {
+    double x;
+    std::vector<double> values;
+  };
+  std::string x_name_;
+  std::vector<std::string> method_names_;
+  std::vector<Row> rows_;
+};
+
+// Formats "3.47x" style improvement factors, guarding tiny baselines.
+std::string improvement_factor(double ours, double baseline);
+
+}  // namespace byom::sim

@@ -1,0 +1,100 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace byom::sim {
+
+namespace {
+
+struct Release {
+  double time;
+  std::uint64_t bytes;
+  bool operator>(const Release& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+SimResult simulate(const trace::Trace& trace, policy::PlacementPolicy& policy,
+                   const SimConfig& config) {
+  const cost::CostModel model(config.rates);
+  SimResult result;
+  result.jobs_total = trace.size();
+  if (config.record_outcomes) result.outcomes.reserve(trace.size());
+
+  std::priority_queue<Release, std::vector<Release>, std::greater<Release>>
+      releases;
+  std::uint64_t ssd_used = 0;
+
+  for (const trace::Job& job : trace.jobs()) {
+    const double now = job.arrival_time;
+    while (!releases.empty() && releases.top().time <= now) {
+      ssd_used -= std::min(ssd_used, releases.top().bytes);
+      releases.pop();
+    }
+
+    policy::StorageView view;
+    view.now = now;
+    view.ssd_capacity_bytes = config.ssd_capacity_bytes;
+    view.ssd_used_bytes = ssd_used;
+
+    const policy::Device decision = policy.decide(job, view);
+
+    policy::PlacementOutcome outcome;
+    outcome.scheduled = decision;
+    double ssd_share = 0.0;
+    if (decision == policy::Device::kSsd) {
+      const std::uint64_t free_bytes = view.ssd_free_bytes();
+      const std::uint64_t placed = std::min(job.peak_bytes, free_bytes);
+      ssd_share = job.peak_bytes > 0
+                      ? static_cast<double>(placed) /
+                            static_cast<double>(job.peak_bytes)
+                      : 0.0;
+      outcome.spill_fraction = 1.0 - ssd_share;
+
+      // Early eviction (mu + sigma TTL rule of the ML baseline).
+      const double ttl = policy.eviction_ttl(job);
+      double release_time = job.end_time();
+      if (ttl > 0.0 && job.arrival_time + ttl < release_time) {
+        release_time = job.arrival_time + ttl;
+      }
+      outcome.ssd_time_share =
+          job.lifetime > 0.0
+              ? std::clamp((release_time - job.arrival_time) / job.lifetime,
+                           0.0, 1.0)
+              : 1.0;
+
+      if (placed > 0) {
+        ssd_used += placed;
+        releases.push({release_time, placed});
+        result.peak_ssd_used_bytes =
+            std::max(result.peak_ssd_used_bytes, ssd_used);
+      }
+      ++result.jobs_scheduled_ssd;
+    }
+
+    policy.on_placed(job, outcome);
+
+    const auto inputs = job.cost_inputs();
+    result.tco_all_hdd += job.cost_hdd;
+    result.tcio_all_hdd_seconds += model.tcio_seconds_hdd(inputs);
+    if (decision == policy::Device::kSsd) {
+      result.tco_actual +=
+          model.cost_mixed(inputs, ssd_share, outcome.ssd_time_share);
+      result.tcio_actual_seconds +=
+          model.tcio_seconds_mixed(inputs, ssd_share, outcome.ssd_time_share);
+    } else {
+      result.tco_actual += job.cost_hdd;
+      result.tcio_actual_seconds += model.tcio_seconds_hdd(inputs);
+    }
+
+    if (config.record_outcomes) {
+      result.outcomes.push_back({job.job_id, decision,
+                                 outcome.spill_fraction,
+                                 outcome.ssd_time_share});
+    }
+  }
+  return result;
+}
+
+}  // namespace byom::sim

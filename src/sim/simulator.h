@@ -1,0 +1,59 @@
+// Event-driven cluster placement simulator (paper section 5.1):
+// replays a trace against a placement policy under an SSD capacity quota.
+// "If a job is placed on SSD but only partially fits, the remaining portion
+// of the job spills over to HDD after filling the available SSD capacity."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "policy/policy.h"
+#include "trace/trace.h"
+
+namespace byom::sim {
+
+struct SimConfig {
+  std::uint64_t ssd_capacity_bytes = 0;
+  cost::Rates rates;
+  // Record one JobOutcome per job (needed by scatter/series benches).
+  bool record_outcomes = false;
+};
+
+struct JobOutcome {
+  std::uint64_t job_id = 0;
+  policy::Device scheduled = policy::Device::kHdd;
+  double spill_fraction = 0.0;
+  double ssd_time_share = 1.0;
+};
+
+struct SimResult {
+  double tco_actual = 0.0;
+  double tco_all_hdd = 0.0;
+  double tcio_actual_seconds = 0.0;
+  double tcio_all_hdd_seconds = 0.0;
+  std::size_t jobs_total = 0;
+  std::size_t jobs_scheduled_ssd = 0;
+  std::uint64_t peak_ssd_used_bytes = 0;
+  std::vector<JobOutcome> outcomes;
+
+  // Savings relative to the everything-on-HDD baseline, in percent.
+  double tco_savings_pct() const {
+    return tco_all_hdd > 0.0
+               ? 100.0 * (tco_all_hdd - tco_actual) / tco_all_hdd
+               : 0.0;
+  }
+  double tcio_savings_pct() const {
+    return tcio_all_hdd_seconds > 0.0
+               ? 100.0 * (tcio_all_hdd_seconds - tcio_actual_seconds) /
+                     tcio_all_hdd_seconds
+               : 0.0;
+  }
+};
+
+// Replays `trace` (jobs must be sorted by arrival; Trace guarantees this)
+// against `policy` under `config`.
+SimResult simulate(const trace::Trace& trace, policy::PlacementPolicy& policy,
+                   const SimConfig& config);
+
+}  // namespace byom::sim

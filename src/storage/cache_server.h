@@ -1,0 +1,72 @@
+// Caching server: the dedicated tiering service of the production setup
+// (paper section 2.4 / Appendix A). It owns the SSD quota, receives each
+// job's placement request (with the application-layer category hint already
+// attached by the framework), consults a pluggable placement policy, and
+// routes the job's files to the chosen tier.
+//
+// It also estimates application run time per job under the realized
+// placement (paper Figure 14): a job's measured lifetime is assumed to have
+// been achieved on HDD; moving its I/O to SSD shortens only the I/O phase.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "policy/policy.h"
+#include "storage/file_system.h"
+#include "trace/trace.h"
+
+namespace byom::storage {
+
+struct PlacedJob {
+  std::uint64_t job_id = 0;
+  policy::Device device = policy::Device::kHdd;
+  double spill_fraction = 0.0;
+  double runtime_seconds = 0.0;       // realized (placement-aware)
+  double runtime_hdd_seconds = 0.0;   // counterfactual all-HDD run time
+  double tco = 0.0;
+  double tco_hdd = 0.0;
+  double tcio_seconds = 0.0;
+  double tcio_seconds_hdd = 0.0;
+  bool framework_workload = true;
+};
+
+class CacheServer {
+ public:
+  CacheServer(std::uint64_t ssd_capacity_bytes,
+              std::shared_ptr<policy::PlacementPolicy> policy,
+              cost::Rates rates = {});
+
+  // Processes one arriving job end-to-end: placement decision, file
+  // routing, cost/runtime accounting. Jobs must be submitted in arrival
+  // order.
+  PlacedJob submit(const trace::Job& job);
+
+  const std::vector<PlacedJob>& placements() const { return placements_; }
+  const FileSystem& file_system() const { return fs_; }
+  std::uint64_t ssd_used_bytes() const { return ssd_used_; }
+
+  // Aggregate savings across everything submitted so far, in percent
+  // relative to the all-HDD baseline.
+  double tco_savings_pct(bool framework_only, bool framework_value) const;
+  double tcio_savings_pct(bool framework_only, bool framework_value) const;
+  double runtime_savings_pct(bool framework_only, bool framework_value) const;
+
+ private:
+  void release_expired(double now);
+  double estimate_runtime(const trace::Job& job, double ssd_share) const;
+
+  std::uint64_t ssd_capacity_;
+  std::uint64_t ssd_used_ = 0;
+  std::shared_ptr<policy::PlacementPolicy> policy_;
+  cost::CostModel cost_model_;
+  FileSystem fs_;
+  std::vector<PlacedJob> placements_;
+  // (release_time, bytes) pairs for SSD space reclamation.
+  std::vector<std::pair<double, std::uint64_t>> pending_releases_;
+  std::uint64_t next_file_id_ = 1;
+};
+
+}  // namespace byom::storage

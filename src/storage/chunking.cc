@@ -1,0 +1,29 @@
+#include "storage/chunking.h"
+
+#include <stdexcept>
+
+namespace byom::storage {
+
+WriteChunker::WriteChunker(std::uint64_t chunk_bytes)
+    : chunk_bytes_(chunk_bytes) {
+  if (chunk_bytes_ == 0) {
+    throw std::invalid_argument("WriteChunker: chunk size must be positive");
+  }
+}
+
+std::uint64_t WriteChunker::write(std::uint64_t bytes) {
+  buffered_ += bytes;
+  const std::uint64_t full = buffered_ / chunk_bytes_;
+  buffered_ -= full * chunk_bytes_;
+  chunks_emitted_ += full;
+  return full;
+}
+
+std::uint64_t WriteChunker::flush() {
+  if (buffered_ == 0) return 0;
+  buffered_ = 0;
+  ++chunks_emitted_;
+  return 1;
+}
+
+}  // namespace byom::storage

@@ -1,0 +1,32 @@
+// Write chunking (paper section 3): "small write operations are grouped
+// into 1 MiB chunks before reaching the disks". Storage servers buffer
+// application writes per stream and emit fixed-size chunks.
+#pragma once
+
+#include <cstdint>
+
+namespace byom::storage {
+
+class WriteChunker {
+ public:
+  explicit WriteChunker(std::uint64_t chunk_bytes = 1ULL << 20);
+
+  // Buffers an application write; returns the number of full chunks that
+  // reached the device because of it.
+  std::uint64_t write(std::uint64_t bytes);
+
+  // Flushes any partial chunk (end of stream); returns 1 if a partial chunk
+  // was emitted, else 0.
+  std::uint64_t flush();
+
+  std::uint64_t chunks_emitted() const { return chunks_emitted_; }
+  std::uint64_t bytes_buffered() const { return buffered_; }
+  std::uint64_t chunk_bytes() const { return chunk_bytes_; }
+
+ private:
+  std::uint64_t chunk_bytes_;
+  std::uint64_t buffered_ = 0;
+  std::uint64_t chunks_emitted_ = 0;
+};
+
+}  // namespace byom::storage

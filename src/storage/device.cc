@@ -1,0 +1,35 @@
+#include "storage/device.h"
+
+#include <algorithm>
+
+namespace byom::storage {
+
+double Device::service_seconds(double ops, double bytes,
+                               double parallelism) const {
+  parallelism = std::max(parallelism, 1.0);
+  if (kind_ == DeviceKind::kHdd) {
+    const double seek_time = ops * hdd_.seek_seconds;
+    const double transfer_time = bytes / hdd_.bandwidth_bytes_per_s;
+    return (seek_time + transfer_time) / parallelism;
+  }
+  const double op_time = ops * ssd_.op_latency_seconds;
+  const double transfer_time = bytes / ssd_.bandwidth_bytes_per_s;
+  return (op_time + transfer_time) / parallelism;
+}
+
+void Device::record_read(double ops, double bytes) {
+  read_ops_ += ops;
+  read_bytes_ += bytes;
+}
+
+void Device::record_write(double ops, double bytes) {
+  write_ops_ += ops;
+  written_bytes_ += bytes;
+}
+
+double Device::wearout_fraction() const {
+  if (kind_ != DeviceKind::kSsd || ssd_.endurance_bytes <= 0.0) return 0.0;
+  return written_bytes_ / ssd_.endurance_bytes;
+}
+
+}  // namespace byom::storage

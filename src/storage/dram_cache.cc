@@ -1,0 +1,64 @@
+#include "storage/dram_cache.h"
+
+namespace byom::storage {
+
+DramCache::DramCache(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+bool DramCache::access(std::uint64_t file_id, std::uint64_t bytes) {
+  const auto it = entries_.find(file_id);
+  if (it != entries_.end()) {
+    ++hits_;
+    touch(file_id);
+    return true;
+  }
+  ++misses_;
+  install(file_id, bytes);
+  return false;
+}
+
+void DramCache::install(std::uint64_t file_id, std::uint64_t bytes) {
+  if (bytes > capacity_) return;  // never cache files larger than the cache
+  const auto it = entries_.find(file_id);
+  if (it != entries_.end()) {
+    used_ -= it->second.bytes;
+    used_ += bytes;
+    it->second.bytes = bytes;
+    touch(file_id);
+    make_room(0);
+    return;
+  }
+  make_room(bytes);
+  lru_.push_front(file_id);
+  entries_[file_id] = Entry{bytes, lru_.begin()};
+  used_ += bytes;
+}
+
+void DramCache::erase(std::uint64_t file_id) {
+  const auto it = entries_.find(file_id);
+  if (it == entries_.end()) return;
+  used_ -= it->second.bytes;
+  lru_.erase(it->second.position);
+  entries_.erase(it);
+}
+
+void DramCache::make_room(std::uint64_t bytes) {
+  while (used_ + bytes > capacity_ && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    const auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      used_ -= it->second.bytes;
+      entries_.erase(it);
+    }
+  }
+}
+
+void DramCache::touch(std::uint64_t file_id) {
+  auto& entry = entries_[file_id];
+  lru_.erase(entry.position);
+  lru_.push_front(file_id);
+  entry.position = lru_.begin();
+}
+
+}  // namespace byom::storage

@@ -1,0 +1,53 @@
+// Server-side DRAM read cache (paper section 3: "I/Os that are served from
+// cache do not reach the disks"). LRU over file ids with a byte budget.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace byom::storage {
+
+class DramCache {
+ public:
+  explicit DramCache(std::uint64_t capacity_bytes);
+
+  // Read access: returns true on hit. On miss the file becomes resident
+  // (whole-file granularity), evicting LRU entries as needed.
+  bool access(std::uint64_t file_id, std::uint64_t bytes);
+
+  // Writes install data in the cache (write-through semantics).
+  void install(std::uint64_t file_id, std::uint64_t bytes);
+
+  // Drops a file (e.g. on deletion).
+  void erase(std::uint64_t file_id);
+
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  std::size_t num_entries() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 0.0;
+  }
+
+ private:
+  void make_room(std::uint64_t bytes);
+  void touch(std::uint64_t file_id);
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  // LRU list front = most recent; map points into the list.
+  std::list<std::uint64_t> lru_;
+  struct Entry {
+    std::uint64_t bytes;
+    std::list<std::uint64_t>::iterator position;
+  };
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace byom::storage

@@ -1,0 +1,94 @@
+#include "storage/file_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace byom::storage {
+
+FileSystem::FileSystem(std::uint64_t dram_cache_bytes)
+    : cache_(dram_cache_bytes) {}
+
+void FileSystem::create(std::uint64_t file_id, DeviceKind tier, double now) {
+  const auto [it, inserted] =
+      files_.emplace(file_id, FileStat{tier, 0, now});
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("FileSystem::create: duplicate file id");
+  }
+}
+
+const FileStat& FileSystem::stat(std::uint64_t file_id) const {
+  const auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    throw std::out_of_range("FileSystem::stat: no such file");
+  }
+  return it->second;
+}
+
+Device& FileSystem::mutable_device(DeviceKind tier) {
+  return tier == DeviceKind::kHdd ? hdd_ : ssd_;
+}
+
+double FileSystem::write(std::uint64_t file_id, std::uint64_t bytes,
+                         double ops, double parallelism) {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    throw std::out_of_range("FileSystem::write: no such file");
+  }
+  FileStat& f = it->second;
+  f.bytes += bytes;
+  if (f.tier == DeviceKind::kHdd) {
+    hdd_bytes_ += bytes;
+  } else {
+    ssd_bytes_ += bytes;
+  }
+  cache_.install(file_id, f.bytes);
+
+  Device& dev = mutable_device(f.tier);
+  // Small writes are grouped into 1 MiB chunks before reaching the device;
+  // the device therefore sees ceil(bytes / 1 MiB) ops regardless of `ops`.
+  const double device_ops =
+      std::ceil(static_cast<double>(bytes) / static_cast<double>(1ULL << 20));
+  (void)ops;
+  dev.record_write(device_ops, static_cast<double>(bytes));
+  return dev.service_seconds(device_ops, static_cast<double>(bytes),
+                             parallelism);
+}
+
+double FileSystem::read(std::uint64_t file_id, std::uint64_t bytes,
+                        double ops, double parallelism) {
+  const auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    throw std::out_of_range("FileSystem::read: no such file");
+  }
+  const FileStat& f = it->second;
+  if (cache_.access(file_id, f.bytes)) {
+    return 0.0;  // served from DRAM; never reaches the device
+  }
+  Device& dev = mutable_device(f.tier);
+  dev.record_read(ops, static_cast<double>(bytes));
+  return dev.service_seconds(ops, static_cast<double>(bytes), parallelism);
+}
+
+void FileSystem::remove(std::uint64_t file_id) {
+  const auto it = files_.find(file_id);
+  if (it == files_.end()) return;
+  if (it->second.tier == DeviceKind::kHdd) {
+    hdd_bytes_ -= std::min(hdd_bytes_, it->second.bytes);
+  } else {
+    ssd_bytes_ -= std::min(ssd_bytes_, it->second.bytes);
+  }
+  cache_.erase(file_id);
+  files_.erase(it);
+}
+
+std::uint64_t FileSystem::bytes_on(DeviceKind tier) const {
+  return tier == DeviceKind::kHdd ? hdd_bytes_ : ssd_bytes_;
+}
+
+const Device& FileSystem::device(DeviceKind tier) const {
+  return tier == DeviceKind::kHdd ? hdd_ : ssd_;
+}
+
+}  // namespace byom::storage

@@ -1,0 +1,60 @@
+// Minimal distributed-file-system bookkeeping: files live on one tier,
+// carry sizes and creation times, and route their I/O through the tier's
+// device model plus the shared DRAM cache and write chunker.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "storage/chunking.h"
+#include "storage/device.h"
+#include "storage/dram_cache.h"
+
+namespace byom::storage {
+
+struct FileStat {
+  DeviceKind tier = DeviceKind::kHdd;
+  std::uint64_t bytes = 0;
+  double created_at = 0.0;
+};
+
+class FileSystem {
+ public:
+  explicit FileSystem(std::uint64_t dram_cache_bytes = 4ULL << 30);
+
+  // Creates a file on a tier; throws std::invalid_argument on duplicate id.
+  void create(std::uint64_t file_id, DeviceKind tier, double now);
+
+  bool exists(std::uint64_t file_id) const {
+    return files_.count(file_id) > 0;
+  }
+  const FileStat& stat(std::uint64_t file_id) const;
+
+  // Appends `bytes` written in `ops` application-level operations; returns
+  // seconds of device time consumed.
+  double write(std::uint64_t file_id, std::uint64_t bytes, double ops,
+               double parallelism = 1.0);
+
+  // Reads `bytes` in `ops` operations; DRAM-cache hits cost no device time.
+  double read(std::uint64_t file_id, std::uint64_t bytes, double ops,
+              double parallelism = 1.0);
+
+  // Deletes the file and releases cache residency.
+  void remove(std::uint64_t file_id);
+
+  std::uint64_t bytes_on(DeviceKind tier) const;
+  const Device& device(DeviceKind tier) const;
+  const DramCache& cache() const { return cache_; }
+
+ private:
+  Device& mutable_device(DeviceKind tier);
+
+  Device hdd_{DeviceKind::kHdd};
+  Device ssd_{DeviceKind::kSsd};
+  DramCache cache_;
+  std::unordered_map<std::uint64_t, FileStat> files_;
+  std::uint64_t hdd_bytes_ = 0;
+  std::uint64_t ssd_bytes_ = 0;
+};
+
+}  // namespace byom::storage

@@ -1,0 +1,189 @@
+#include "trace/archetypes.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace byom::trace {
+
+namespace {
+
+using common::kGiB;
+using common::kKiB;
+using common::kMiB;
+
+double ln(double x) { return std::log(x); }
+
+std::vector<Archetype> build_catalog() {
+  std::vector<Archetype> c;
+
+  Archetype streaming;
+  streaming.name = "streamshuffle";
+  streaming.size_mu = ln(6.0 * static_cast<double>(kGiB));
+  streaming.size_sigma = 1.2;
+  streaming.lifetime_mu = ln(3600.0);
+  streaming.lifetime_sigma = 0.7;
+  streaming.write_ratio = 1.1;
+  streaming.read_ratio = 1.6;
+  streaming.read_block_mu = ln(16.0 * static_cast<double>(kKiB));
+  streaming.read_block_sigma = 0.7;
+  streaming.write_block_mu = ln(128.0 * static_cast<double>(kKiB));
+  streaming.cache_hit_mean = 0.30;
+  streaming.period_mean = 1.5 * 3600.0;
+  streaming.jobs_per_execution = 5.0;
+  streaming.diurnal_concentration = 0.2;
+  streaming.record_bytes = 512.0;
+  c.push_back(streaming);
+
+  Archetype db;
+  db.name = "dbquery";
+  db.size_mu = ln(2.0 * static_cast<double>(kGiB));
+  db.size_sigma = 0.9;
+  db.lifetime_mu = ln(900.0);
+  db.lifetime_sigma = 0.6;
+  db.write_ratio = 1.0;
+  db.read_ratio = 2.4;  // repeated probes of the same sorted runs
+  db.read_block_mu = ln(8.0 * static_cast<double>(kKiB));
+  db.read_block_sigma = 0.5;
+  db.write_block_mu = ln(64.0 * static_cast<double>(kKiB));
+  db.cache_hit_mean = 0.35;
+  db.period_mean = 1.0 * 3600.0;
+  db.jobs_per_execution = 5.0;
+  db.diurnal_concentration = 0.5;
+  db.record_bytes = 256.0;
+  c.push_back(db);
+
+  Archetype logs;
+  logs.name = "logproc";
+  logs.size_mu = ln(8.0 * static_cast<double>(kGiB));
+  logs.size_sigma = 1.0;
+  logs.lifetime_mu = ln(2400.0);
+  logs.lifetime_sigma = 0.6;
+  logs.write_ratio = 1.0;
+  logs.read_ratio = 1.1;
+  logs.read_block_mu = ln(256.0 * static_cast<double>(kKiB));
+  logs.read_block_sigma = 0.5;
+  logs.write_block_mu = ln(384.0 * static_cast<double>(kKiB));
+  logs.cache_hit_mean = 0.10;
+  logs.period_mean = 6.0 * 3600.0;
+  logs.jobs_per_execution = 3.0;
+  logs.diurnal_concentration = 0.5;  // nightly batch runs
+  logs.record_bytes = 2048.0;
+  c.push_back(logs);
+
+  // Long-running simulations checkpoint and re-read state frequently:
+  // I/O-dense but long-lived, the case where a lifetime-based admission
+  // rule (paper section 3.4) mispredicts value.
+  Archetype sim;
+  sim.name = "simrun";
+  sim.size_mu = ln(4.0 * static_cast<double>(kGiB));
+  sim.size_sigma = 1.1;
+  sim.lifetime_mu = ln(3.0 * 3600.0);
+  sim.lifetime_sigma = 0.6;
+  sim.write_ratio = 1.1;
+  sim.read_ratio = 1.8;
+  sim.read_block_mu = ln(16.0 * static_cast<double>(kKiB));
+  sim.read_block_sigma = 0.8;
+  sim.write_block_mu = ln(256.0 * static_cast<double>(kKiB));
+  sim.cache_hit_mean = 0.20;
+  sim.period_mean = 4.0 * 3600.0;
+  sim.jobs_per_execution = 2.0;
+  sim.diurnal_concentration = 0.1;
+  sim.record_bytes = 4096.0;
+  c.push_back(sim);
+
+  Archetype video;
+  video.name = "vidproc";
+  video.size_mu = ln(12.0 * static_cast<double>(kGiB));
+  video.size_sigma = 1.0;
+  video.lifetime_mu = ln(1.5 * 3600.0);
+  video.lifetime_sigma = 0.6;
+  video.write_ratio = 1.0;
+  video.read_ratio = 0.8;
+  video.read_block_mu = ln(768.0 * static_cast<double>(kKiB));
+  video.read_block_sigma = 0.4;
+  video.write_block_mu = ln(1024.0 * static_cast<double>(kKiB));
+  video.cache_hit_mean = 0.05;
+  video.period_mean = 8.0 * 3600.0;
+  video.jobs_per_execution = 2.0;
+  video.diurnal_concentration = 0.3;
+  video.record_bytes = 65536.0;
+  c.push_back(video);
+
+  Archetype ckpt;
+  ckpt.name = "mlckpt";
+  ckpt.size_mu = ln(32.0 * static_cast<double>(kGiB));
+  ckpt.size_sigma = 0.8;
+  ckpt.lifetime_mu = ln(5.0 * 3600.0);
+  ckpt.lifetime_sigma = 0.6;
+  ckpt.write_ratio = 1.0;
+  ckpt.read_ratio = 0.15;  // checkpoints are rarely read back
+  ckpt.read_block_mu = ln(1024.0 * static_cast<double>(kKiB));
+  ckpt.read_block_sigma = 0.2;
+  ckpt.write_block_mu = ln(1024.0 * static_cast<double>(kKiB));
+  ckpt.cache_hit_mean = 0.02;
+  ckpt.period_mean = 3.0 * 3600.0;
+  ckpt.jobs_per_execution = 2.0;
+  ckpt.diurnal_concentration = 0.05;
+  ckpt.record_bytes = 1 << 20;
+  c.push_back(ckpt);
+
+  Archetype compress;
+  compress.name = "compressup";
+  compress.size_mu = ln(1.0 * static_cast<double>(kGiB));
+  compress.size_sigma = 0.9;
+  compress.lifetime_mu = ln(300.0);
+  compress.lifetime_sigma = 0.5;
+  compress.write_ratio = 1.0;
+  compress.read_ratio = 1.2;
+  compress.read_block_mu = ln(32.0 * static_cast<double>(kKiB));
+  compress.read_block_sigma = 0.4;
+  compress.write_block_mu = ln(32.0 * static_cast<double>(kKiB));
+  compress.cache_hit_mean = 0.15;
+  compress.period_mean = 1800.0;
+  compress.jobs_per_execution = 3.0;
+  compress.diurnal_concentration = 0.4;
+  compress.framework = false;
+  compress.record_bytes = 1024.0;
+  c.push_back(compress);
+
+  Archetype trainckpt;
+  trainckpt.name = "trainckpt";
+  trainckpt.size_mu = ln(40.0 * static_cast<double>(kGiB));
+  trainckpt.size_sigma = 0.7;
+  trainckpt.lifetime_mu = ln(8.0 * 3600.0);
+  trainckpt.lifetime_sigma = 0.5;
+  trainckpt.write_ratio = 1.0;
+  trainckpt.read_ratio = 0.1;
+  trainckpt.read_block_mu = ln(1024.0 * static_cast<double>(kKiB));
+  trainckpt.read_block_sigma = 0.2;
+  trainckpt.write_block_mu = ln(1024.0 * static_cast<double>(kKiB));
+  trainckpt.cache_hit_mean = 0.02;
+  trainckpt.period_mean = 2.0 * 3600.0;
+  trainckpt.jobs_per_execution = 1.0;
+  trainckpt.diurnal_concentration = 0.0;
+  trainckpt.framework = false;
+  trainckpt.record_bytes = 1 << 20;
+  c.push_back(trainckpt);
+
+  return c;
+}
+
+}  // namespace
+
+const std::vector<Archetype>& archetype_catalog() {
+  static const std::vector<Archetype> catalog = build_catalog();
+  return catalog;
+}
+
+const Archetype& archetype(ArchetypeId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  const auto& catalog = archetype_catalog();
+  if (idx >= catalog.size()) {
+    throw std::out_of_range("unknown archetype id");
+  }
+  return catalog[idx];
+}
+
+}  // namespace byom::trace

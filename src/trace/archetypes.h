@@ -1,0 +1,68 @@
+// Workload archetypes: parameter bundles describing the distributional
+// behaviour of one family of production workloads.
+//
+// The paper evaluates on log processing, simulations, streaming applications,
+// ML workloads, video processing, and database queries (sections 1 and 5.3),
+// plus two non-framework workload families in Appendix C.1 (ML-training
+// checkpointing and compress-and-upload user workflows). Each archetype here
+// reproduces the *storage-relevant* behaviour of one of these families:
+// footprint and lifetime scales, read/write mix, block sizes (which drive
+// I/O density and hence SSD-friendliness), and cacheability.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace byom::trace {
+
+struct Archetype {
+  std::string name;  // token that also appears in generated metadata strings
+  // Log-normal parameters (of the underlying normal) for job size in bytes.
+  double size_mu = 0.0;
+  double size_sigma = 1.0;
+  // Log-normal parameters for job lifetime in seconds.
+  double lifetime_mu = 0.0;
+  double lifetime_sigma = 0.5;
+  // bytes_written = write_ratio * size, bytes_read = read_ratio * size
+  // (jittered per job).
+  double write_ratio = 1.0;
+  double read_ratio = 1.0;
+  // Log-normal parameters for average read/write block size in bytes.
+  double read_block_mu = 0.0;
+  double read_block_sigma = 0.5;
+  double write_block_mu = 0.0;
+  double write_block_sigma = 0.3;
+  // Mean fraction of reads served by the server DRAM cache.
+  double cache_hit_mean = 0.2;
+  // Mean seconds between consecutive executions of one pipeline.
+  double period_mean = 4.0 * 3600.0;
+  // Mean shuffle jobs spawned per pipeline execution.
+  double jobs_per_execution = 3.0;
+  // 0 = uniform over the day; 1 = strongly concentrated at the pipeline's
+  // preferred hour (drives the weekday/hour feature signal).
+  double diurnal_concentration = 0.3;
+  // Whether this family runs on the shared data-processing framework.
+  bool framework = true;
+  // Average record size in bytes (drives records_written).
+  double record_bytes = 1024.0;
+};
+
+// The built-in archetype catalog. Index with ArchetypeId for readability.
+enum class ArchetypeId {
+  kStreamingShuffle = 0,  // hot, short-lived, small random reads: SSD-friendly
+  kDbQuery,               // very I/O dense re-read heavy joins: SSD-friendly
+  kLogProcessing,         // large sequential scans: middling
+  kSimulation,            // mixed behaviour, high variance
+  kVideoProcessing,       // large, sequential, low density: HDD-leaning
+  kMlCheckpoint,          // huge, cold, long-lived: HDD-friendly (negative
+                          // TCO saving on SSD)
+  kCompressUpload,        // non-framework hot temp files (Appendix C.1)
+  kMlTrainingCkpt,        // non-framework checkpoint writer (Appendix C.1)
+  kCount,
+};
+
+// Catalog accessors.
+const std::vector<Archetype>& archetype_catalog();
+const Archetype& archetype(ArchetypeId id);
+
+}  // namespace byom::trace

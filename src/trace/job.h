@@ -1,0 +1,94 @@
+// The basic data placement unit: a shuffle job (paper section 3).
+//
+// A Job carries (a) everything known *before* execution — execution metadata
+// strings, allocated resources, timestamps, per-pipeline history — which is
+// what models may use as features, and (b) post-execution measurements —
+// lifetime, peak size, I/O profile, realized costs — which production traces
+// record and which labels/oracles/simulators consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "cost/io_profile.h"
+
+namespace byom::trace {
+
+// Resources assigned by the cluster scheduler before execution starts
+// (paper Table 2, feature group C).
+struct AllocatedResources {
+  std::int64_t bucket_sizing_initial_num_stripes = 0;
+  std::int64_t bucket_sizing_num_shards = 0;
+  std::int64_t bucket_sizing_num_worker_threads = 0;
+  std::int64_t bucket_sizing_num_workers = 0;
+  std::int64_t initial_num_buckets = 0;
+  std::int64_t num_buckets = 0;
+  std::int64_t records_written = 0;
+  std::int64_t requested_num_shards = 0;
+};
+
+// Averages over the same pipeline-step's previously completed executions
+// (paper Table 2, feature group A). Negative values mean "no history yet".
+struct HistoricalMetrics {
+  double average_tcio = -1.0;
+  double average_size = -1.0;      // bytes
+  double average_lifetime = -1.0;  // seconds
+  double average_io_density = -1.0;
+
+  bool has_history() const { return average_tcio >= 0.0; }
+};
+
+struct Job {
+  // --- identity ---
+  std::uint64_t job_id = 0;
+  std::uint32_t cluster_id = 0;
+  // Stable identity of the recurring (pipeline, step) pair. This is the
+  // "job ID" the CacheSack-style Heuristic uses as its category.
+  std::string job_key;
+  // Owning user of the pipeline (experiment grouping for the new-user
+  // generalization study, Figure 10; not a model feature).
+  std::string owner;
+
+  // --- execution metadata strings (paper Tables 2 and 3, group B) ---
+  std::string build_target_name;
+  std::string execution_name;
+  std::string pipeline_name;
+  std::string step_name;
+  std::string user_name;
+
+  // --- timing ---
+  double arrival_time = 0.0;  // seconds since simulation epoch (a Monday 0:00)
+  double lifetime = 0.0;      // seconds
+  double end_time() const { return arrival_time + lifetime; }
+
+  // --- space ---
+  std::uint64_t peak_bytes = 0;  // peak intermediate-file footprint
+
+  // --- pre-execution knowledge ---
+  AllocatedResources resources;
+  HistoricalMetrics history;
+
+  // --- post-execution measurements ---
+  cost::IoProfile io;
+  // Derived metrics cached at trace-generation time (they are part of the
+  // production trace, measured under the trace's cost model).
+  double tcio_hdd = 0.0;      // TCIO if placed on HDD
+  double io_density = 0.0;    // disk ops per GiB of footprint
+  double cost_hdd = 0.0;      // full TCO on HDD
+  double cost_ssd = 0.0;      // full TCO on SSD
+  double tco_saving() const { return cost_hdd - cost_ssd; }
+
+  // Whether the job was produced by the shared data-processing framework
+  // (as opposed to a conventional workload; Appendix C.1).
+  bool framework_workload = true;
+
+  // Fill the derived cost fields from the I/O profile using `model`.
+  void compute_costs(const cost::CostModel& model);
+
+  cost::JobCostInputs cost_inputs() const {
+    return cost::JobCostInputs{peak_bytes, lifetime, io};
+  }
+};
+
+}  // namespace byom::trace

@@ -1,0 +1,68 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "common/histogram.h"
+
+namespace byom::trace {
+
+void Job::compute_costs(const cost::CostModel& model) {
+  const auto in = cost_inputs();
+  tcio_hdd = model.tcio_hdd(in);
+  io_density = model.io_density(in);
+  cost_hdd = model.cost_hdd(in);
+  cost_ssd = model.cost_ssd(in);
+}
+
+Trace::Trace(std::uint32_t cluster_id, std::vector<Job> jobs)
+    : cluster_id_(cluster_id), jobs_(std::move(jobs)) {
+  sort_by_arrival();
+}
+
+void Trace::sort_by_arrival() {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+}
+
+double Trace::start_time() const {
+  return jobs_.empty() ? 0.0 : jobs_.front().arrival_time;
+}
+
+double Trace::end_time() const {
+  double t = 0.0;
+  for (const Job& j : jobs_) t = std::max(t, j.end_time());
+  return t;
+}
+
+std::uint64_t Trace::peak_concurrent_bytes() const {
+  common::IntervalSeries series;
+  for (const Job& j : jobs_) {
+    series.add(j.arrival_time, j.end_time(),
+               static_cast<double>(j.peak_bytes));
+  }
+  return static_cast<std::uint64_t>(series.peak());
+}
+
+Trace Trace::slice(double t0, double t1) const {
+  std::vector<Job> subset;
+  for (const Job& j : jobs_) {
+    if (j.arrival_time >= t0 && j.arrival_time < t1) subset.push_back(j);
+  }
+  return Trace(cluster_id_, std::move(subset));
+}
+
+double Trace::total_cost_all_hdd() const {
+  double total = 0.0;
+  for (const Job& j : jobs_) total += j.cost_hdd;
+  return total;
+}
+
+double Trace::total_tcio_seconds_all_hdd(const cost::CostModel& model) const {
+  double total = 0.0;
+  for (const Job& j : jobs_) total += model.tcio_seconds_hdd(j.cost_inputs());
+  return total;
+}
+
+}  // namespace byom::trace

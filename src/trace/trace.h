@@ -1,0 +1,51 @@
+// A Trace is a time-ordered sequence of jobs from one cluster, plus helpers
+// the experiments need (peak concurrent SSD demand, time-range splits,
+// aggregate costs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/job.h"
+
+namespace byom::trace {
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::uint32_t cluster_id, std::vector<Job> jobs);
+
+  std::uint32_t cluster_id() const { return cluster_id_; }
+  const std::vector<Job>& jobs() const { return jobs_; }
+  std::vector<Job>& mutable_jobs() { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+  // Keeps jobs sorted by arrival time; call after external mutation.
+  void sort_by_arrival();
+
+  // Earliest arrival / latest end across all jobs (0 for empty traces).
+  double start_time() const;
+  double end_time() const;
+
+  // Peak of the sum of peak_bytes over concurrently live jobs. This is the
+  // "peak SSD usage" against which quota fractions are defined (paper 5.1:
+  // "we initially set the SSD constraint to infinity to determine the
+  // cluster's maximum space usage").
+  std::uint64_t peak_concurrent_bytes() const;
+
+  // Jobs with arrival_time in [t0, t1).
+  Trace slice(double t0, double t1) const;
+
+  // Sum of cost_hdd over all jobs (the all-HDD TCO baseline).
+  double total_cost_all_hdd() const;
+  // Sum of TCIO-seconds if everything runs on HDD.
+  double total_tcio_seconds_all_hdd(const cost::CostModel& model) const;
+
+ private:
+  std::uint32_t cluster_id_ = 0;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace byom::trace

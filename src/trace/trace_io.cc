@@ -1,0 +1,172 @@
+#include "trace/trace_io.h"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+namespace byom::trace {
+
+namespace {
+
+const char* const kColumns[] = {
+    "job_id",          "cluster_id",       "job_key",
+    "owner",
+    "build_target",    "execution_name",   "pipeline_name",
+    "step_name",       "user_name",        "arrival_time",
+    "lifetime",        "peak_bytes",       "bytes_written",
+    "bytes_read",      "avg_read_block",   "avg_write_block",
+    "cache_hit",       "stripes",          "shards",
+    "threads",         "workers",          "init_buckets",
+    "buckets",         "records",          "req_shards",
+    "hist_tcio",       "hist_size",        "hist_lifetime",
+    "hist_density",    "tcio_hdd",         "io_density",
+    "cost_hdd",        "cost_ssd",         "framework",
+};
+
+double to_double(const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad numeric field in trace CSV: " + s);
+  }
+}
+
+std::int64_t to_i64(const std::string& s) {
+  try {
+    return std::stoll(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad integer field in trace CSV: " + s);
+  }
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad unsigned field in trace CSV: " + s);
+  }
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 17);
+  if (ec != std::errc()) throw std::runtime_error("to_chars failed");
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+common::CsvTable to_csv(const Trace& trace) {
+  common::CsvTable table;
+  for (const char* c : kColumns) table.header.emplace_back(c);
+  table.rows.reserve(trace.size());
+  for (const Job& j : trace.jobs()) {
+    std::vector<std::string> row;
+    row.reserve(table.header.size());
+    row.push_back(std::to_string(j.job_id));
+    row.push_back(std::to_string(j.cluster_id));
+    row.push_back(j.job_key);
+    row.push_back(j.owner);
+    row.push_back(j.build_target_name);
+    row.push_back(j.execution_name);
+    row.push_back(j.pipeline_name);
+    row.push_back(j.step_name);
+    row.push_back(j.user_name);
+    row.push_back(fmt(j.arrival_time));
+    row.push_back(fmt(j.lifetime));
+    row.push_back(std::to_string(j.peak_bytes));
+    row.push_back(std::to_string(j.io.bytes_written));
+    row.push_back(std::to_string(j.io.bytes_read));
+    row.push_back(fmt(j.io.avg_read_block));
+    row.push_back(fmt(j.io.avg_write_block));
+    row.push_back(fmt(j.io.dram_cache_hit_fraction));
+    row.push_back(std::to_string(j.resources.bucket_sizing_initial_num_stripes));
+    row.push_back(std::to_string(j.resources.bucket_sizing_num_shards));
+    row.push_back(std::to_string(j.resources.bucket_sizing_num_worker_threads));
+    row.push_back(std::to_string(j.resources.bucket_sizing_num_workers));
+    row.push_back(std::to_string(j.resources.initial_num_buckets));
+    row.push_back(std::to_string(j.resources.num_buckets));
+    row.push_back(std::to_string(j.resources.records_written));
+    row.push_back(std::to_string(j.resources.requested_num_shards));
+    row.push_back(fmt(j.history.average_tcio));
+    row.push_back(fmt(j.history.average_size));
+    row.push_back(fmt(j.history.average_lifetime));
+    row.push_back(fmt(j.history.average_io_density));
+    row.push_back(fmt(j.tcio_hdd));
+    row.push_back(fmt(j.io_density));
+    row.push_back(fmt(j.cost_hdd));
+    row.push_back(fmt(j.cost_ssd));
+    row.push_back(j.framework_workload ? "1" : "0");
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Trace from_csv(const common::CsvTable& table) {
+  std::vector<Job> jobs;
+  jobs.reserve(table.rows.size());
+  // Resolve all column indices up front (throws on schema mismatch).
+  std::vector<std::size_t> idx;
+  idx.reserve(std::size(kColumns));
+  for (const char* c : kColumns) idx.push_back(table.column(c));
+
+  std::uint32_t cluster_id = 0;
+  for (const auto& row : table.rows) {
+    if (row.size() < std::size(kColumns)) {
+      throw std::runtime_error("trace CSV row has too few fields");
+    }
+    auto f = [&](int c) -> const std::string& {
+      return row[idx[static_cast<std::size_t>(c)]];
+    };
+    Job j;
+    int c = 0;
+    j.job_id = to_u64(f(c++));
+    j.cluster_id = static_cast<std::uint32_t>(to_u64(f(c++)));
+    j.job_key = f(c++);
+    j.owner = f(c++);
+    j.build_target_name = f(c++);
+    j.execution_name = f(c++);
+    j.pipeline_name = f(c++);
+    j.step_name = f(c++);
+    j.user_name = f(c++);
+    j.arrival_time = to_double(f(c++));
+    j.lifetime = to_double(f(c++));
+    j.peak_bytes = to_u64(f(c++));
+    j.io.bytes_written = to_u64(f(c++));
+    j.io.bytes_read = to_u64(f(c++));
+    j.io.avg_read_block = to_double(f(c++));
+    j.io.avg_write_block = to_double(f(c++));
+    j.io.dram_cache_hit_fraction = to_double(f(c++));
+    j.resources.bucket_sizing_initial_num_stripes = to_i64(f(c++));
+    j.resources.bucket_sizing_num_shards = to_i64(f(c++));
+    j.resources.bucket_sizing_num_worker_threads = to_i64(f(c++));
+    j.resources.bucket_sizing_num_workers = to_i64(f(c++));
+    j.resources.initial_num_buckets = to_i64(f(c++));
+    j.resources.num_buckets = to_i64(f(c++));
+    j.resources.records_written = to_i64(f(c++));
+    j.resources.requested_num_shards = to_i64(f(c++));
+    j.history.average_tcio = to_double(f(c++));
+    j.history.average_size = to_double(f(c++));
+    j.history.average_lifetime = to_double(f(c++));
+    j.history.average_io_density = to_double(f(c++));
+    j.tcio_hdd = to_double(f(c++));
+    j.io_density = to_double(f(c++));
+    j.cost_hdd = to_double(f(c++));
+    j.cost_ssd = to_double(f(c++));
+    j.framework_workload = f(c++) == "1";
+    cluster_id = j.cluster_id;
+    jobs.push_back(std::move(j));
+  }
+  return Trace(cluster_id, std::move(jobs));
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  common::write_csv_file(path, to_csv(trace));
+}
+
+Trace load_trace(const std::string& path) {
+  return from_csv(common::read_csv_file(path));
+}
+
+}  // namespace byom::trace

@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time_util.h"
+#include "common/units.h"
+
+namespace byom::common {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.5), 0.0);
+}
+
+TEST(Rng, LognormalMedianNearExpMu) {
+  Rng rng(12);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.lognormal(2.0, 0.8));
+  EXPECT_NEAR(percentile(values, 0.5), std::exp(2.0), std::exp(2.0) * 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(5.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.15);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(16);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(17), 17u);
+}
+
+TEST(Rng, UniformIndexZeroIsZero) {
+  Rng rng(17);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(21);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Fnv1a, StableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);
+}
+
+TEST(Fnv1a, DistinguishesStrings) {
+  EXPECT_NE(fnv1a("GroupByKey-1"), fnv1a("GroupByKey-2"));
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(RunningStats, SumTracksTotal) {
+  RunningStats s;
+  s.add(1.5);
+  s.add(2.5);
+  s.add(-1.0);
+  EXPECT_NEAR(s.sum(), 3.0, 1e-12);
+}
+
+TEST(Percentile, Median) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0.5), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 1.0), 3.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(EquiDepth, SplitsEvenly) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  const auto cuts = equi_depth_thresholds(values, 4);
+  ASSERT_EQ(cuts.size(), 3u);
+  EXPECT_NEAR(cuts[0], 25.75, 0.5);
+  EXPECT_NEAR(cuts[1], 50.5, 0.5);
+  EXPECT_NEAR(cuts[2], 75.25, 0.5);
+}
+
+TEST(EquiDepth, BucketAssignmentBalanced) {
+  std::vector<double> values;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) values.push_back(rng.lognormal(0, 2));
+  const int k = 10;
+  const auto cuts = equi_depth_thresholds(values, k);
+  std::vector<int> counts(k, 0);
+  for (double v : values) ++counts[static_cast<std::size_t>(bucket_of(v, cuts))];
+  for (int c : counts) {
+    EXPECT_GT(c, 10000 / k / 2);
+    EXPECT_LT(c, 10000 / k * 2);
+  }
+}
+
+TEST(BucketOf, BoundaryGoesRight) {
+  const std::vector<double> cuts{1.0, 2.0};
+  EXPECT_EQ(bucket_of(0.5, cuts), 0);
+  EXPECT_EQ(bucket_of(1.0, cuts), 1);
+  EXPECT_EQ(bucket_of(1.5, cuts), 1);
+  EXPECT_EQ(bucket_of(2.0, cuts), 2);
+  EXPECT_EQ(bucket_of(9.0, cuts), 2);
+}
+
+TEST(MeanOf, Basic) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+// ---------------------------------------------------------------- csv
+
+TEST(Csv, EscapePlain) { EXPECT_EQ(csv_escape("hello"), "hello"); }
+
+TEST(Csv, EscapeComma) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(Csv, EscapeQuote) { EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\""); }
+
+TEST(Csv, JoinRow) {
+  EXPECT_EQ(csv_join({"a", "b,c", "d"}), "a,\"b,c\",d");
+}
+
+TEST(Csv, ParseSimple) {
+  const auto t = parse_csv("x,y\n1,2\n3,4\n");
+  ASSERT_EQ(t.header.size(), 2u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], "1");
+  EXPECT_EQ(t.rows[1][1], "4");
+}
+
+TEST(Csv, ParseQuotedFieldWithComma) {
+  const auto t = parse_csv("a,b\n\"x,y\",z\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "x,y");
+}
+
+TEST(Csv, ParseEscapedQuote) {
+  const auto t = parse_csv("a\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "he said \"hi\"");
+}
+
+TEST(Csv, ParseCrLf) {
+  const auto t = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(Csv, RoundTrip) {
+  CsvTable t;
+  t.header = {"name", "value"};
+  t.rows = {{"plain", "1"}, {"with,comma", "2"}, {"with\"quote", "3"}};
+  std::string text = csv_join(t.header) + "\n";
+  for (const auto& r : t.rows) text += csv_join(r) + "\n";
+  const auto parsed = parse_csv(text);
+  EXPECT_EQ(parsed.header, t.header);
+  EXPECT_EQ(parsed.rows, t.rows);
+}
+
+TEST(Csv, ColumnLookup) {
+  const auto t = parse_csv("x,y,z\n1,2,3\n");
+  EXPECT_EQ(t.column("y"), 1u);
+  EXPECT_THROW(t.column("nope"), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, CountsFall) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 2.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, RejectsBadArgs) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(IntervalSeries, SingleInterval) {
+  IntervalSeries s;
+  s.add(1.0, 3.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(2.9), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(3.0), 0.0);
+}
+
+TEST(IntervalSeries, OverlapSums) {
+  IntervalSeries s;
+  s.add(0.0, 10.0, 1.0);
+  s.add(5.0, 15.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.at(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(7.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(12.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.peak(), 3.0);
+}
+
+TEST(IntervalSeries, PeakOfMany) {
+  IntervalSeries s;
+  for (int i = 0; i < 100; ++i) {
+    s.add(i, i + 10, 1.0);  // at most 10 overlap
+  }
+  EXPECT_DOUBLE_EQ(s.peak(), 10.0);
+}
+
+TEST(IntervalSeries, SampleGrid) {
+  IntervalSeries s;
+  s.add(0.0, 1.0, 5.0);
+  const auto pts = s.sample(0.0, 2.0, 5);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_DOUBLE_EQ(pts[0], 5.0);
+  EXPECT_DOUBLE_EQ(pts[4], 0.0);
+}
+
+TEST(IntervalSeries, IgnoresEmptyIntervals) {
+  IntervalSeries s;
+  s.add(5.0, 5.0, 3.0);
+  s.add(7.0, 6.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.peak(), 0.0);
+}
+
+// ---------------------------------------------------------------- time/units
+
+TEST(TimeUtil, EpochIsMondayMidnight) {
+  EXPECT_EQ(weekday_of(0.0), 0);
+  EXPECT_EQ(hour_of_day(0.0), 0);
+}
+
+TEST(TimeUtil, WeekdayAdvances) {
+  EXPECT_EQ(weekday_of(kSecondsPerDay), 1);
+  EXPECT_EQ(weekday_of(6 * kSecondsPerDay), 6);
+  EXPECT_EQ(weekday_of(7 * kSecondsPerDay), 0);
+}
+
+TEST(TimeUtil, HourOfDay) {
+  EXPECT_EQ(hour_of_day(3 * kSecondsPerHour + 59), 3);
+  EXPECT_EQ(hour_of_day(kSecondsPerDay + 13 * kSecondsPerHour), 13);
+}
+
+TEST(TimeUtil, SecondOfDayWraps) {
+  EXPECT_DOUBLE_EQ(second_of_day(kSecondsPerDay + 42.0), 42.0);
+}
+
+TEST(Units, Scaling) {
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_DOUBLE_EQ(as_gib(kGiB), 1.0);
+  EXPECT_DOUBLE_EQ(as_tib(kTiB), 1.0);
+}
+
+}  // namespace
+}  // namespace byom::common

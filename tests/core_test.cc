@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/units.h"
+#include "core/byom.h"
+#include "core/category_model.h"
+#include "core/labeler.h"
+#include "trace/generator.h"
+
+namespace byom::core {
+namespace {
+
+using common::kGiB;
+
+trace::Job job_with(double saving_sign, double density) {
+  static std::uint64_t next_id = 1;
+  trace::Job j;
+  j.job_id = next_id++;
+  j.peak_bytes = kGiB;
+  j.lifetime = 600.0;
+  j.cost_hdd = 1.0;
+  j.cost_ssd = 1.0 - saving_sign * 0.1;
+  j.io_density = density;
+  return j;
+}
+
+std::vector<trace::Job> labeler_population() {
+  std::vector<trace::Job> jobs;
+  // 100 cost-saving jobs with densities 1..100, plus 20 negative jobs.
+  for (int i = 1; i <= 100; ++i) {
+    jobs.push_back(job_with(+1.0, static_cast<double>(i)));
+  }
+  for (int i = 0; i < 20; ++i) {
+    jobs.push_back(job_with(-1.0, 50.0));
+  }
+  return jobs;
+}
+
+trace::Trace cluster_trace(std::uint32_t cluster, std::uint64_t seed,
+                           int pipelines = 14, double days = 6.0) {
+  trace::GeneratorConfig cfg = trace::canonical_cluster_config(cluster, seed);
+  cfg.num_pipelines = pipelines;
+  cfg.duration = days * 86400.0;
+  return trace::generate_cluster_trace(cfg);
+}
+
+CategoryModelConfig small_model_config(int categories = 8) {
+  CategoryModelConfig cfg;
+  cfg.num_categories = categories;
+  cfg.gbdt.num_rounds = 10;
+  cfg.gbdt.max_trees_total = categories * 10;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- labeler
+
+TEST(Labeler, NegativeSavingIsCategoryZero) {
+  const auto labeler = CategoryLabeler::fit(labeler_population(), 5);
+  EXPECT_EQ(labeler.category_of(job_with(-1.0, 99.0)), 0);
+}
+
+TEST(Labeler, DensityRankOrdersCategories) {
+  const auto labeler = CategoryLabeler::fit(labeler_population(), 5);
+  const int low = labeler.category_of(job_with(+1.0, 5.0));
+  const int mid = labeler.category_of(job_with(+1.0, 50.0));
+  const int high = labeler.category_of(job_with(+1.0, 99.0));
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+  EXPECT_GE(low, 1);
+  EXPECT_LE(high, 4);
+}
+
+TEST(Labeler, EquiDepthBalance) {
+  const auto jobs = labeler_population();
+  const int n = 5;
+  const auto labeler = CategoryLabeler::fit(jobs, n);
+  std::vector<int> counts(static_cast<std::size_t>(n), 0);
+  for (const auto& j : jobs) {
+    ++counts[static_cast<std::size_t>(labeler.category_of(j))];
+  }
+  // 100 positive jobs over 4 density buckets: each ~25.
+  for (int c = 1; c < n; ++c) {
+    EXPECT_NEAR(counts[static_cast<std::size_t>(c)], 25, 4);
+  }
+  EXPECT_EQ(counts[0], 20);
+}
+
+TEST(Labeler, LabelVectorMatchesPerJob) {
+  const auto jobs = labeler_population();
+  const auto labeler = CategoryLabeler::fit(jobs, 6);
+  const auto labels = labeler.label(jobs);
+  ASSERT_EQ(labels.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(labels[i], labeler.category_of(jobs[i]));
+  }
+}
+
+TEST(Labeler, SerializationRoundTrip) {
+  const auto labeler = CategoryLabeler::fit(labeler_population(), 7);
+  std::stringstream ss;
+  labeler.save(ss);
+  const auto loaded = CategoryLabeler::load(ss);
+  EXPECT_EQ(loaded.num_categories(), 7);
+  for (double d : {1.0, 20.0, 50.0, 80.0, 99.0}) {
+    EXPECT_EQ(loaded.category_of(job_with(1.0, d)),
+              labeler.category_of(job_with(1.0, d)));
+  }
+}
+
+TEST(Labeler, RejectsBadInput) {
+  EXPECT_THROW(CategoryLabeler::fit(labeler_population(), 1),
+               std::invalid_argument);
+  CategoryLabeler unfitted;
+  EXPECT_THROW(unfitted.category_of(job_with(1.0, 1.0)), std::logic_error);
+}
+
+TEST(Labeler, UnseenExtremeDensityClampsToTopCategory) {
+  const auto labeler = CategoryLabeler::fit(labeler_population(), 5);
+  EXPECT_EQ(labeler.category_of(job_with(+1.0, 1e12)), 4);
+}
+
+// ------------------------------------------------------------ CategoryModel
+
+class CategoryModelTest : public ::testing::Test {
+ protected:
+  static const CategoryModel& model() {
+    static const CategoryModel m = [] {
+      const auto t = cluster_trace(0, 404);
+      const auto split = trace::split_train_test(t);
+      return CategoryModel::train(split.train.jobs(), small_model_config());
+    }();
+    return m;
+  }
+};
+
+TEST_F(CategoryModelTest, TrainsAndPredictsInRange) {
+  const auto t = cluster_trace(0, 405);
+  for (const auto& j : t.jobs()) {
+    const int c = model().predict_category(j);
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, model().num_categories());
+  }
+}
+
+TEST_F(CategoryModelTest, BeatsRandomGuessing) {
+  const auto t = cluster_trace(0, 404);
+  const auto split = trace::split_train_test(t);
+  const double acc = model().top1_accuracy(split.test.jobs());
+  // Random over 8 classes would be 0.125; the model must beat it clearly.
+  EXPECT_GT(acc, 0.25);
+}
+
+TEST_F(CategoryModelTest, PredictedCorrelatesWithTrueCategory) {
+  const auto t = cluster_trace(0, 404);
+  const auto split = trace::split_train_test(t);
+  // Mean |predicted - true| must be far below the random-guess distance.
+  double mean_abs = 0.0;
+  for (const auto& j : split.test.jobs()) {
+    mean_abs += std::abs(model().predict_category(j) -
+                         model().true_category(j));
+  }
+  mean_abs /= static_cast<double>(split.test.size());
+  EXPECT_LT(mean_abs, 2.0);
+}
+
+TEST_F(CategoryModelTest, ProbaSumsToOne) {
+  const auto t = cluster_trace(0, 405);
+  const auto p = model().predict_proba(t.jobs().front());
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(CategoryModelTest, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "byom_model_test.txt";
+  model().save_file(path.string());
+  const auto loaded = CategoryModel::load_file(path.string());
+  const auto t = cluster_trace(0, 406, 6, 2.0);
+  for (const auto& j : t.jobs()) {
+    EXPECT_EQ(loaded.predict_category(j), model().predict_category(j));
+    EXPECT_EQ(loaded.true_category(j), model().true_category(j));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CategoryModel, EmptyTrainingThrows) {
+  EXPECT_THROW(CategoryModel::train({}, small_model_config()),
+               std::invalid_argument);
+}
+
+TEST(CategoryModel, PaperDefaultsAre15Categories) {
+  CategoryModelConfig cfg;
+  EXPECT_EQ(cfg.num_categories, 15);
+  EXPECT_LE(cfg.gbdt.max_trees_total, 300);
+  EXPECT_LE(cfg.gbdt.tree.max_depth, 6);
+}
+
+// ------------------------------------------------------------- ModelRegistry
+
+TEST(ModelRegistry, LookupPrefersPipelineModel) {
+  auto pipeline_model = std::make_shared<CategoryModel>();
+  auto default_model = std::make_shared<CategoryModel>();
+  ModelRegistry registry;
+  registry.register_model("pipe_a", pipeline_model);
+  registry.set_default_model(default_model);
+  trace::Job j;
+  j.pipeline_name = "pipe_a";
+  EXPECT_EQ(registry.lookup(j), pipeline_model.get());
+  j.pipeline_name = "pipe_b";
+  EXPECT_EQ(registry.lookup(j), default_model.get());
+}
+
+TEST(ModelRegistry, LookupWithoutAnyModelIsNull) {
+  ModelRegistry registry;
+  trace::Job j;
+  j.pipeline_name = "anything";
+  EXPECT_EQ(registry.lookup(j), nullptr);
+}
+
+TEST(ModelRegistry, CountsModels) {
+  ModelRegistry registry;
+  registry.register_model("a", std::make_shared<CategoryModel>());
+  registry.register_model("b", std::make_shared<CategoryModel>());
+  registry.register_model("a", std::make_shared<CategoryModel>());  // replace
+  EXPECT_EQ(registry.num_models(), 2u);
+  EXPECT_FALSE(registry.has_default());
+}
+
+TEST(ByomPolicy, UsesWorkloadModelAndFallback) {
+  const auto t = cluster_trace(0, 407);
+  const auto split = trace::split_train_test(t);
+  auto model = std::make_shared<CategoryModel>(
+      CategoryModel::train(split.train.jobs(), small_model_config()));
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->set_default_model(model);
+  policy::AdaptiveConfig cfg;
+  cfg.num_categories = model->num_categories();
+  auto policy = make_byom_policy(registry, cfg);
+  EXPECT_EQ(policy->name(), "BYOM");
+  // Drive a few decisions; jobs with a model follow the model's category.
+  policy::StorageView view;
+  view.ssd_capacity_bytes = 100 * kGiB;
+  const auto& probe = split.test.jobs().front();
+  policy->decide(probe, view);
+  EXPECT_EQ(policy->last_category(), model->predict_category(probe));
+}
+
+TEST(ByomPolicy, MissingModelFallsBackToHash) {
+  auto registry = std::make_shared<ModelRegistry>();  // no models at all
+  policy::AdaptiveConfig cfg;
+  cfg.num_categories = 15;
+  auto policy = make_byom_policy(registry, cfg);
+  trace::Job j;
+  j.job_key = "some/job";
+  j.arrival_time = 0.0;
+  j.lifetime = 60.0;
+  j.peak_bytes = kGiB;
+  policy::StorageView view;
+  view.ssd_capacity_bytes = 100 * kGiB;
+  policy->decide(j, view);
+  EXPECT_EQ(policy->last_category(), policy::hash_category_fn(15)(j));
+}
+
+TEST(TrainByomModel, WrapperMatchesDirectTraining) {
+  const auto t = cluster_trace(1, 408);
+  const auto split = trace::split_train_test(t);
+  const auto cfg = small_model_config();
+  const auto a = train_byom_model(split.train.jobs(), cfg);
+  const auto b = CategoryModel::train(split.train.jobs(), cfg);
+  for (const auto& j : split.test.jobs()) {
+    EXPECT_EQ(a.predict_category(j), b.predict_category(j));
+  }
+}
+
+}  // namespace
+}  // namespace byom::core

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "cost/cost_model.h"
+#include "cost/io_profile.h"
+
+namespace byom::cost {
+namespace {
+
+using common::kGiB;
+using common::kMiB;
+
+IoProfile dense_random_reads() {
+  IoProfile io;
+  io.bytes_written = 4 * kGiB;
+  io.bytes_read = 12 * kGiB;
+  io.avg_read_block = 8.0 * 1024.0;  // 8 KiB random reads
+  io.avg_write_block = 64.0 * 1024.0;
+  io.dram_cache_hit_fraction = 0.2;
+  return io;
+}
+
+IoProfile cold_sequential() {
+  IoProfile io;
+  io.bytes_written = 32 * kGiB;
+  io.bytes_read = 4 * kGiB;
+  io.avg_read_block = static_cast<double>(kMiB);
+  io.avg_write_block = static_cast<double>(kMiB);
+  io.dram_cache_hit_fraction = 0.02;
+  return io;
+}
+
+// ---------------------------------------------------------------- IoProfile
+
+TEST(IoProfile, WriteOpsAreChunked) {
+  IoProfile io;
+  io.bytes_written = 10 * kMiB;
+  io.avg_write_block = 4096.0;  // tiny app writes
+  // 1 MiB chunking: 10 chunks regardless of the 4 KiB app block size.
+  EXPECT_DOUBLE_EQ(io.disk_write_ops(), 10.0);
+}
+
+TEST(IoProfile, WriteOpsRoundUp) {
+  IoProfile io;
+  io.bytes_written = kMiB + 1;
+  EXPECT_DOUBLE_EQ(io.disk_write_ops(), 2.0);
+}
+
+TEST(IoProfile, ZeroWritesZeroOps) {
+  IoProfile io;
+  EXPECT_DOUBLE_EQ(io.disk_write_ops(), 0.0);
+  EXPECT_DOUBLE_EQ(io.disk_read_ops(), 0.0);
+}
+
+TEST(IoProfile, CacheHitsNeverReachDisk) {
+  IoProfile io;
+  io.bytes_read = 100 * kMiB;
+  io.avg_read_block = 64.0 * 1024.0;
+  io.dram_cache_hit_fraction = 1.0;
+  EXPECT_DOUBLE_EQ(io.disk_read_ops(), 0.0);
+}
+
+TEST(IoProfile, CacheHalvesReadOps) {
+  IoProfile a, b;
+  a.bytes_read = b.bytes_read = 128 * kMiB;
+  a.avg_read_block = b.avg_read_block = 64.0 * 1024.0;
+  a.dram_cache_hit_fraction = 0.0;
+  b.dram_cache_hit_fraction = 0.5;
+  EXPECT_NEAR(b.disk_read_ops(), a.disk_read_ops() / 2.0, 1.0);
+}
+
+TEST(IoProfile, ReadBlockClampedLow) {
+  IoProfile io;
+  io.bytes_read = kMiB;
+  io.avg_read_block = 100.0;  // sub-4KiB requests clamp to 4 KiB
+  EXPECT_DOUBLE_EQ(io.disk_read_ops(), 256.0);
+}
+
+TEST(IoProfile, ReadBlockClampedHigh) {
+  IoProfile io;
+  io.bytes_read = 100 * kMiB;
+  io.avg_read_block = 1e9;  // giant requests clamp to 1 MiB per op
+  EXPECT_DOUBLE_EQ(io.disk_read_ops(), 100.0);
+}
+
+TEST(IoProfile, SmallerBlocksMeanMoreOps) {
+  IoProfile small = dense_random_reads();
+  IoProfile big = dense_random_reads();
+  big.avg_read_block = 512.0 * 1024.0;
+  EXPECT_GT(small.disk_read_ops(), big.disk_read_ops());
+}
+
+TEST(IoProfile, TotalBytes) {
+  IoProfile io;
+  io.bytes_written = 10;
+  io.bytes_read = 32;
+  EXPECT_EQ(io.total_bytes(), 42u);
+}
+
+// ---------------------------------------------------------------- TCIO
+
+TEST(CostModel, TcioScalesWithOps) {
+  const CostModel m;
+  JobCostInputs dense{8 * kGiB, 600.0, dense_random_reads()};
+  JobCostInputs cold{8 * kGiB, 600.0, cold_sequential()};
+  EXPECT_GT(m.tcio_hdd(dense), m.tcio_hdd(cold));
+}
+
+TEST(CostModel, TcioUnitsMatchHddCapacity) {
+  // A job issuing exactly hdd_iops_capacity ops/s has TCIO 1.0.
+  const CostModel m;
+  IoProfile io;
+  io.bytes_written = 0;
+  io.bytes_read = static_cast<std::uint64_t>(m.rates().hdd_iops_capacity) *
+                  600ULL * kMiB;
+  io.avg_read_block = static_cast<double>(kMiB);
+  JobCostInputs j{kGiB, 600.0, io};
+  EXPECT_NEAR(m.tcio_hdd(j), 1.0, 0.01);
+}
+
+TEST(CostModel, TcioSecondsIndependentOfDuration) {
+  const CostModel m;
+  JobCostInputs a{kGiB, 100.0, dense_random_reads()};
+  JobCostInputs b{kGiB, 10000.0, dense_random_reads()};
+  EXPECT_DOUBLE_EQ(m.tcio_seconds_hdd(a), m.tcio_seconds_hdd(b));
+}
+
+TEST(CostModel, IoDensityNormalizesByFootprint) {
+  const CostModel m;
+  JobCostInputs small{kGiB, 600.0, dense_random_reads()};
+  JobCostInputs large{64 * kGiB, 600.0, dense_random_reads()};
+  EXPECT_NEAR(m.io_density(small) / m.io_density(large), 64.0, 0.5);
+}
+
+TEST(CostModel, Throughput) {
+  const CostModel m;
+  IoProfile io;
+  io.bytes_written = 600 * kMiB;
+  io.bytes_read = 0;
+  JobCostInputs j{kGiB, 600.0, io};
+  EXPECT_NEAR(m.io_throughput(j), static_cast<double>(kMiB), 1.0);
+}
+
+// ---------------------------------------------------------------- TCO
+
+TEST(CostModel, DenseJobSavesOnSsd) {
+  const CostModel m;
+  JobCostInputs j{8 * kGiB, 900.0, dense_random_reads()};
+  EXPECT_GT(m.tco_saving(j), 0.0);
+}
+
+TEST(CostModel, ColdLongJobLosesOnSsd) {
+  const CostModel m;
+  JobCostInputs j{32 * kGiB, 6.0 * 3600.0, cold_sequential()};
+  EXPECT_LT(m.tco_saving(j), 0.0);
+}
+
+TEST(CostModel, CostsArePositive) {
+  const CostModel m;
+  JobCostInputs j{8 * kGiB, 900.0, dense_random_reads()};
+  EXPECT_GT(m.cost_hdd(j), 0.0);
+  EXPECT_GT(m.cost_ssd(j), 0.0);
+}
+
+TEST(CostModel, ByteCostScalesWithSizeAndDuration) {
+  CostModel m;
+  IoProfile none;
+  JobCostInputs small{kGiB, 100.0, none};
+  JobCostInputs big{2 * kGiB, 200.0, none};
+  // With no I/O, cost is purely byte cost: 4x for 2x size and 2x duration.
+  EXPECT_NEAR(m.cost_hdd(big) / m.cost_hdd(small), 4.0, 0.01);
+}
+
+TEST(CostModel, SsdWearoutChargesWrites) {
+  const CostModel m;
+  IoProfile writes;
+  writes.bytes_written = 10 * kGiB;
+  writes.avg_write_block = static_cast<double>(kMiB);
+  IoProfile reads;
+  reads.bytes_read = 10 * kGiB;
+  reads.avg_read_block = static_cast<double>(kMiB);
+  JobCostInputs w{kGiB, 600.0, writes};
+  JobCostInputs r{kGiB, 600.0, reads};
+  // Same bytes moved, but the write job pays wearout on SSD.
+  EXPECT_GT(m.cost_ssd(w), m.cost_ssd(r));
+}
+
+TEST(CostModel, NetworkCostDeviceIndependent) {
+  Rates rates;
+  rates.byte_cost_hdd = rates.byte_cost_ssd = 0.0;
+  rates.server_cost_rate_hdd = rates.device_cost_rate_hdd = 0.0;
+  rates.server_cost_rate_ssd = rates.wearout_cost_rate_ssd = 0.0;
+  const CostModel m(rates);
+  JobCostInputs j{kGiB, 600.0, dense_random_reads()};
+  EXPECT_NEAR(m.cost_hdd(j), m.cost_ssd(j), m.cost_hdd(j) * 1e-9);
+}
+
+// ------------------------------------------------------------- cost_mixed
+
+TEST(CostModel, MixedExtremesMatchPure) {
+  const CostModel m;
+  JobCostInputs j{8 * kGiB, 900.0, dense_random_reads()};
+  EXPECT_DOUBLE_EQ(m.cost_mixed(j, 0.0, 1.0), m.cost_hdd(j));
+  EXPECT_DOUBLE_EQ(m.cost_mixed(j, 1.0, 0.0), m.cost_hdd(j));
+  EXPECT_NEAR(m.cost_mixed(j, 1.0, 1.0), m.cost_ssd(j),
+              m.cost_ssd(j) * 1e-9);
+}
+
+TEST(CostModel, MixedIsBetweenExtremesForSavers) {
+  const CostModel m;
+  JobCostInputs j{8 * kGiB, 900.0, dense_random_reads()};
+  const double mixed = m.cost_mixed(j, 0.5, 1.0);
+  EXPECT_LT(mixed, m.cost_hdd(j));
+  EXPECT_GT(mixed, m.cost_ssd(j));
+}
+
+TEST(CostModel, MixedMonotoneInSsdShare) {
+  const CostModel m;
+  JobCostInputs j{8 * kGiB, 900.0, dense_random_reads()};
+  double prev = m.cost_mixed(j, 0.0, 1.0);
+  for (double share = 0.25; share <= 1.0; share += 0.25) {
+    const double c = m.cost_mixed(j, share, 1.0);
+    EXPECT_LE(c, prev + 1e-9);
+    prev = c;
+  }
+}
+
+TEST(CostModel, MixedClampsOutOfRangeShares) {
+  const CostModel m;
+  JobCostInputs j{8 * kGiB, 900.0, dense_random_reads()};
+  EXPECT_DOUBLE_EQ(m.cost_mixed(j, -1.0, 2.0), m.cost_hdd(j));
+  EXPECT_NEAR(m.cost_mixed(j, 2.0, 2.0), m.cost_ssd(j),
+              m.cost_ssd(j) * 1e-9);
+}
+
+TEST(CostModel, TcioMixedScalesLinearly) {
+  const CostModel m;
+  JobCostInputs j{8 * kGiB, 900.0, dense_random_reads()};
+  const double full = m.tcio_seconds_hdd(j);
+  EXPECT_DOUBLE_EQ(m.tcio_seconds_mixed(j, 0.0, 1.0), full);
+  EXPECT_NEAR(m.tcio_seconds_mixed(j, 0.5, 1.0), full * 0.5, 1e-9);
+  EXPECT_NEAR(m.tcio_seconds_mixed(j, 1.0, 0.25), full * 0.75, 1e-9);
+  EXPECT_NEAR(m.tcio_seconds_mixed(j, 1.0, 1.0), 0.0, 1e-9);
+}
+
+TEST(CostModel, EvictionCheaperThanFullResidencyForColdJob) {
+  const CostModel m;
+  JobCostInputs j{32 * kGiB, 6.0 * 3600.0, cold_sequential()};
+  // For a job that loses money on SSD, shorter residency hurts less.
+  EXPECT_LT(m.cost_mixed(j, 1.0, 0.1), m.cost_mixed(j, 1.0, 1.0));
+}
+
+TEST(CostModel, ZeroDurationGuard) {
+  const CostModel m;
+  JobCostInputs j{kGiB, 0.0, dense_random_reads()};
+  EXPECT_TRUE(std::isfinite(m.cost_hdd(j)));
+  EXPECT_TRUE(std::isfinite(m.cost_ssd(j)));
+  EXPECT_TRUE(std::isfinite(m.tcio_hdd(j)));
+}
+
+}  // namespace
+}  // namespace byom::cost

@@ -1,0 +1,230 @@
+// Failure-injection tests: malformed inputs, degenerate jobs, truncated
+// model files, and empty populations must fail loudly or degrade safely —
+// never crash or corrupt results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/category_model.h"
+#include "core/labeler.h"
+#include "ml/gbdt.h"
+#include "oracle/greedy_oracle.h"
+#include "policy/adaptive.h"
+#include "policy/cachesack.h"
+#include "policy/first_fit.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/trace_io.h"
+
+namespace byom {
+namespace {
+
+using common::kGiB;
+
+trace::Job degenerate_job(double arrival, double lifetime,
+                          std::uint64_t bytes) {
+  trace::Job j;
+  static std::uint64_t next_id = 90000;
+  j.job_id = next_id++;
+  j.job_key = "deg/step";
+  j.arrival_time = arrival;
+  j.lifetime = lifetime;
+  j.peak_bytes = bytes;
+  j.io.bytes_written = bytes;
+  j.compute_costs(cost::CostModel{});
+  return j;
+}
+
+// ------------------------------------------------------ degenerate jobs
+
+TEST(FailureInjection, ZeroLifetimeJobSimulates) {
+  trace::Trace t(0, {degenerate_job(0.0, 0.0, kGiB)});
+  policy::FirstFitPolicy p;
+  sim::SimConfig cfg;
+  cfg.ssd_capacity_bytes = 10 * kGiB;
+  const auto r = sim::simulate(t, p, cfg);
+  EXPECT_TRUE(std::isfinite(r.tco_actual));
+  EXPECT_TRUE(std::isfinite(r.tcio_actual_seconds));
+}
+
+TEST(FailureInjection, ZeroByteJobSimulates) {
+  trace::Trace t(0, {degenerate_job(0.0, 60.0, 0)});
+  policy::FirstFitPolicy p;
+  sim::SimConfig cfg;
+  cfg.ssd_capacity_bytes = kGiB;
+  const auto r = sim::simulate(t, p, cfg);
+  EXPECT_TRUE(std::isfinite(r.tco_savings_pct()));
+}
+
+TEST(FailureInjection, GiantJobNeverCorruptsCapacity) {
+  // A job far larger than capacity spills almost entirely; usage stays
+  // bounded and later jobs still get served.
+  trace::Trace t(0, {degenerate_job(0.0, 100.0, 100 * kGiB),
+                     degenerate_job(10.0, 100.0, kGiB / 2)});
+  class AlwaysSsd final : public policy::PlacementPolicy {
+   public:
+    std::string name() const override { return "ssd"; }
+    policy::Device decide(const trace::Job&,
+                          const policy::StorageView&) override {
+      return policy::Device::kSsd;
+    }
+  } p;
+  sim::SimConfig cfg;
+  cfg.ssd_capacity_bytes = kGiB;
+  cfg.record_outcomes = true;
+  const auto r = sim::simulate(t, p, cfg);
+  EXPECT_LE(r.peak_ssd_used_bytes, kGiB);
+  EXPECT_GT(r.outcomes[0].spill_fraction, 0.98);
+}
+
+TEST(FailureInjection, EmptyTraceSimulates) {
+  trace::Trace t;
+  policy::FirstFitPolicy p;
+  const auto r = sim::simulate(t, p, sim::SimConfig{});
+  EXPECT_EQ(r.jobs_total, 0u);
+  EXPECT_DOUBLE_EQ(r.tco_savings_pct(), 0.0);
+}
+
+// --------------------------------------------------------- model loading
+
+TEST(FailureInjection, TruncatedClassifierFileRejected) {
+  std::stringstream full;
+  {
+    ml::Dataset data({"x"});
+    std::vector<int> labels;
+    common::Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+      const float x = static_cast<float>(rng.uniform(-1, 1));
+      data.add_row({x});
+      labels.push_back(x > 0 ? 1 : 0);
+    }
+    ml::GbdtClassifier model;
+    ml::GbdtParams params;
+    params.num_rounds = 3;
+    model.train(data, labels, 2, params);
+    model.save(full);
+  }
+  const std::string text = full.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(ml::GbdtClassifier::load(truncated), std::runtime_error);
+}
+
+TEST(FailureInjection, WrongModelHeaderRejected) {
+  std::stringstream ss("category_model v999\n");
+  EXPECT_THROW(core::CategoryModel::load(ss), std::runtime_error);
+  std::stringstream ss2("gbdt_regressor v1\n0 0 0.1\n");
+  EXPECT_NO_THROW(ml::GbdtRegressor::load(ss2));
+  std::stringstream ss3("gbdt_classifier v2\n");
+  EXPECT_THROW(ml::GbdtClassifier::load(ss3), std::runtime_error);
+}
+
+TEST(FailureInjection, MissingModelFileThrows) {
+  EXPECT_THROW(core::CategoryModel::load_file("/nonexistent/model.txt"),
+               std::runtime_error);
+  EXPECT_THROW(trace::load_trace("/nonexistent/trace.csv"),
+               std::runtime_error);
+}
+
+// --------------------------------------------------------- CSV corruption
+
+TEST(FailureInjection, TraceCsvWithShuffledColumnsStillLoads) {
+  // Column *order* must not matter — loading resolves by header name.
+  trace::Trace t(3, {degenerate_job(1.0, 60.0, kGiB)});
+  auto table = trace::to_csv(t);
+  // Swap two columns wholesale (header + all rows).
+  std::swap(table.header[0], table.header[5]);
+  for (auto& row : table.rows) std::swap(row[0], row[5]);
+  const auto back = trace::from_csv(table);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.jobs()[0].peak_bytes, kGiB);
+}
+
+TEST(FailureInjection, TraceCsvRowTooShortRejected) {
+  trace::Trace t(3, {degenerate_job(1.0, 60.0, kGiB)});
+  auto table = trace::to_csv(t);
+  table.rows[0].resize(3);
+  EXPECT_THROW(trace::from_csv(table), std::runtime_error);
+}
+
+// ------------------------------------------------------ policy edge cases
+
+TEST(FailureInjection, AdaptivePolicyWithNegativeCategoryFn) {
+  // A buggy workload model returning garbage categories must be clamped,
+  // not crash the storage layer.
+  policy::AdaptiveConfig cfg;
+  cfg.num_categories = 5;
+  policy::AdaptiveCategoryPolicy p(
+      "buggy", [](const trace::Job&) { return -42; }, cfg);
+  policy::StorageView view;
+  view.ssd_capacity_bytes = kGiB;
+  EXPECT_EQ(p.decide(degenerate_job(0.0, 60.0, kGiB), view),
+            policy::Device::kHdd);
+  EXPECT_EQ(p.last_category(), 0);
+}
+
+TEST(FailureInjection, CacheSackWithAllNegativeHistory) {
+  std::vector<trace::Job> history;
+  for (int i = 0; i < 10; ++i) {
+    auto j = degenerate_job(i * 100.0, 6 * 3600.0, 8 * kGiB);
+    j.io.bytes_read = 0;
+    j.compute_costs(cost::CostModel{});
+    history.push_back(j);
+  }
+  policy::CacheSackPolicy p(history, 100 * kGiB);
+  EXPECT_EQ(p.admission_set_size(), 0u);
+}
+
+TEST(FailureInjection, LabelerWithNoPositiveJobs) {
+  // All-negative training population: every job lands in category 0 and
+  // the thresholds degenerate gracefully.
+  std::vector<trace::Job> jobs;
+  for (int i = 0; i < 20; ++i) {
+    auto j = degenerate_job(i * 10.0, 6 * 3600.0, 8 * kGiB);
+    j.io.bytes_read = 0;
+    j.compute_costs(cost::CostModel{});
+    jobs.push_back(j);
+  }
+  ASSERT_LT(jobs[0].tco_saving(), 0.0);
+  const auto labeler = core::CategoryLabeler::fit(jobs, 5);
+  for (const auto& j : jobs) EXPECT_EQ(labeler.category_of(j), 0);
+}
+
+TEST(FailureInjection, OracleWithAllNegativeJobs) {
+  std::vector<trace::Job> jobs;
+  for (int i = 0; i < 50; ++i) {
+    auto j = degenerate_job(i * 10.0, 6 * 3600.0, 8 * kGiB);
+    j.io.bytes_read = 0;
+    j.compute_costs(cost::CostModel{});
+    jobs.push_back(j);
+  }
+  const auto r = oracle::solve_greedy(jobs, 1000 * kGiB,
+                                      oracle::Objective::kTco,
+                                      cost::CostModel{});
+  EXPECT_EQ(r.num_selected, 0u);
+  EXPECT_DOUBLE_EQ(r.objective_value, 0.0);
+}
+
+TEST(FailureInjection, NonFiniteFeatureDoesNotCrashInference) {
+  // NaN/inf leaking into a feature vector must not crash prediction.
+  trace::GeneratorConfig cfg;
+  cfg.num_pipelines = 6;
+  cfg.duration = 2.0 * 86400.0;
+  cfg.seed = 5;
+  const auto t = trace::generate_cluster_trace(cfg);
+  core::CategoryModelConfig mc;
+  mc.num_categories = 4;
+  mc.gbdt.num_rounds = 3;
+  const auto model = core::CategoryModel::train(t.jobs(), mc);
+  auto j = t.jobs().front();
+  j.history.average_tcio = std::numeric_limits<double>::quiet_NaN();
+  j.history.average_size = std::numeric_limits<double>::infinity();
+  const int c = model.predict_category(j);
+  EXPECT_GE(c, 0);
+  EXPECT_LT(c, 4);
+}
+
+}  // namespace
+}  // namespace byom

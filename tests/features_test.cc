@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "features/feature_extractor.h"
+#include "features/history.h"
+#include "features/tokenizer.h"
+#include "trace/generator.h"
+
+namespace byom::features {
+namespace {
+
+trace::Job sample_job() {
+  trace::Job j;
+  j.job_id = 1;
+  j.pipeline_name = "org_adslogs.streamshuffle-p3-prod.dataimporter";
+  j.step_name = "GroupByKey-shuffle0-p3";
+  j.user_name = "GroupByKey-22";
+  j.execution_name = "com.adslogs.streamshuffle.p3.launcher.Main";
+  j.build_target_name = "//adslogs/streamshuffle/pipelines:p3_main";
+  j.job_key = j.pipeline_name + "/" + j.step_name;
+  j.arrival_time = 3.0 * 86400.0 + 13.0 * 3600.0 + 42.0;  // Thu 13:00:42
+  j.lifetime = 600.0;
+  j.peak_bytes = 4ULL << 30;
+  j.resources.bucket_sizing_num_workers = 16;
+  j.resources.num_buckets = 64;
+  j.resources.records_written = 1 << 20;
+  j.io.bytes_written = 4ULL << 30;
+  j.io.bytes_read = 8ULL << 30;
+  j.compute_costs(cost::CostModel{});
+  return j;
+}
+
+// --------------------------------------------------------------- tokenizer
+
+TEST(Tokenizer, SplitsOnNonAlphanumeric) {
+  const auto tokens = tokenize_metadata("org_adslogs.stream-p3:main");
+  const std::vector<std::string> expected{"org", "adslogs", "stream", "p3",
+                                          "main"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(Tokenizer, Lowercases) {
+  const auto tokens = tokenize_metadata("GroupByKey-22");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "groupbykey");
+  EXPECT_EQ(tokens[1], "22");
+}
+
+TEST(Tokenizer, EmptyString) {
+  EXPECT_TRUE(tokenize_metadata("").empty());
+  EXPECT_TRUE(tokenize_metadata("---...__").empty());
+}
+
+TEST(Tokenizer, PaperExampleValues) {
+  // Table 3 style values parse into key elements.
+  const auto t1 = tokenize_metadata("//storage/buildmanager:target");
+  EXPECT_EQ(t1.size(), 3u);
+  const auto t2 = tokenize_metadata("-open-shuffle10");
+  ASSERT_EQ(t2.size(), 2u);
+  EXPECT_EQ(t2[1], "shuffle10");
+}
+
+TEST(Tokenizer, HashBucketsCountTokens) {
+  const auto buckets = token_hash_buckets("a.b.c", 4);
+  float total = 0.0f;
+  for (float b : buckets) total += b;
+  EXPECT_FLOAT_EQ(total, 3.0f);
+}
+
+TEST(Tokenizer, HashBucketsDeterministic) {
+  EXPECT_EQ(token_hash_buckets("x.y.z", 8), token_hash_buckets("x.y.z", 8));
+}
+
+TEST(Tokenizer, IdentityHashInUnitInterval) {
+  for (const char* s : {"a", "bb", "ccc", ""}) {
+    const float h = identity_hash_feature(s);
+    EXPECT_GE(h, 0.0f);
+    EXPECT_LT(h, 1.0f);
+  }
+}
+
+TEST(Tokenizer, IdentityHashDistinguishes) {
+  EXPECT_NE(identity_hash_feature("pipeline-a"),
+            identity_hash_feature("pipeline-b"));
+}
+
+// ----------------------------------------------------------------- history
+
+TEST(History, EmptySnapshotHasNoHistory) {
+  HistoryTracker tracker;
+  EXPECT_FALSE(tracker.snapshot("unknown").has_history());
+}
+
+TEST(History, AveragesObservations) {
+  HistoryTracker tracker;
+  auto j = sample_job();
+  j.tcio_hdd = 2.0;
+  j.io_density = 100.0;
+  tracker.observe(j);
+  j.tcio_hdd = 4.0;
+  j.io_density = 300.0;
+  tracker.observe(j);
+  const auto h = tracker.snapshot(j.job_key);
+  ASSERT_TRUE(h.has_history());
+  EXPECT_DOUBLE_EQ(h.average_tcio, 3.0);
+  EXPECT_DOUBLE_EQ(h.average_io_density, 200.0);
+  EXPECT_DOUBLE_EQ(h.average_lifetime, j.lifetime);
+}
+
+TEST(History, KeysAreIndependent) {
+  HistoryTracker tracker;
+  auto a = sample_job();
+  tracker.observe(a);
+  EXPECT_TRUE(tracker.snapshot(a.job_key).has_history());
+  EXPECT_FALSE(tracker.snapshot("other/key").has_history());
+  EXPECT_EQ(tracker.num_keys(), 1u);
+}
+
+// ------------------------------------------------------ feature extraction
+
+TEST(FeatureExtractor, SchemaIsConsistent) {
+  const FeatureExtractor fx;
+  EXPECT_EQ(fx.feature_names().size(), fx.feature_groups().size());
+  EXPECT_EQ(fx.num_features(), fx.feature_names().size());
+  // 4 history + 8 resources + 3 timestamps + 5 * (1 + 8) metadata = 60.
+  EXPECT_EQ(fx.num_features(), 60u);
+}
+
+TEST(FeatureExtractor, NamesMatchPaperTable2) {
+  const FeatureExtractor fx;
+  const auto& names = fx.feature_names();
+  const std::set<std::string> set(names.begin(), names.end());
+  for (const char* required :
+       {"average_tcio", "average_size", "average_lifetime",
+        "average_io_density", "bucket_sizing_initial_num_stripes",
+        "bucket_sizing_num_shards", "bucket_sizing_num_worker_threads",
+        "bucket_sizing_num_workers", "initial_num_buckets", "num_buckets",
+        "records_written", "requested_num_shards", "open_time_day_hour",
+        "open_time_seconds", "open_time_weekday"}) {
+    EXPECT_TRUE(set.count(required)) << "missing feature " << required;
+  }
+}
+
+TEST(FeatureExtractor, AllFourGroupsPresent) {
+  const FeatureExtractor fx;
+  std::set<int> groups(fx.feature_groups().begin(),
+                       fx.feature_groups().end());
+  EXPECT_TRUE(groups.count(kGroupHistorical));
+  EXPECT_TRUE(groups.count(kGroupMetadata));
+  EXPECT_TRUE(groups.count(kGroupResources));
+  EXPECT_TRUE(groups.count(kGroupTimestamp));
+}
+
+TEST(FeatureExtractor, GroupLetters) {
+  EXPECT_STREQ(feature_group_letter(kGroupHistorical), "A");
+  EXPECT_STREQ(feature_group_letter(kGroupMetadata), "B");
+  EXPECT_STREQ(feature_group_letter(kGroupResources), "C");
+  EXPECT_STREQ(feature_group_letter(kGroupTimestamp), "T");
+  EXPECT_STREQ(feature_group_letter(99), "?");
+}
+
+TEST(FeatureExtractor, ExtractMatchesSchemaWidth) {
+  const FeatureExtractor fx;
+  const auto v = fx.extract(sample_job());
+  EXPECT_EQ(v.size(), fx.num_features());
+}
+
+TEST(FeatureExtractor, TimestampFeaturesCorrect) {
+  const FeatureExtractor fx;
+  const auto j = sample_job();  // Thursday 13:00:42
+  const auto v = fx.extract(j);
+  const auto names = fx.feature_names();
+  const auto idx = [&](const std::string& n) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == n) return i;
+    }
+    throw std::out_of_range(n);
+  };
+  EXPECT_FLOAT_EQ(v[idx("open_time_weekday")], 3.0f);
+  EXPECT_FLOAT_EQ(v[idx("open_time_day_hour")], 13.0f);
+  EXPECT_FLOAT_EQ(v[idx("open_time_seconds")], 13.0f * 3600.0f + 42.0f);
+}
+
+TEST(FeatureExtractor, MissingHistoryIsNegative) {
+  const FeatureExtractor fx;
+  auto j = sample_job();
+  j.history = trace::HistoricalMetrics{};
+  const auto v = fx.extract(j);
+  EXPECT_LT(v[0], 0.0f);  // average_tcio sentinel
+}
+
+TEST(FeatureExtractor, UsesOnlyPreExecutionData) {
+  // Two jobs identical in identity/resources but with different
+  // post-execution measurements must produce identical features.
+  const FeatureExtractor fx;
+  auto a = sample_job();
+  auto b = sample_job();
+  b.io.bytes_read *= 10;
+  b.lifetime *= 7;
+  b.peak_bytes *= 3;
+  b.compute_costs(cost::CostModel{});
+  EXPECT_EQ(fx.extract(a), fx.extract(b));
+}
+
+TEST(FeatureExtractor, DifferentPipelinesDiffer) {
+  const FeatureExtractor fx;
+  auto a = sample_job();
+  auto b = sample_job();
+  b.pipeline_name = "org_vidpipe.vidproc-p9-prod.dataimporter";
+  EXPECT_NE(fx.extract(a), fx.extract(b));
+}
+
+TEST(FeatureExtractor, MakeDatasetOverTrace) {
+  trace::GeneratorConfig cfg;
+  cfg.num_pipelines = 6;
+  cfg.duration = 86400.0;
+  cfg.seed = 42;
+  const auto t = trace::generate_cluster_trace(cfg);
+  const FeatureExtractor fx;
+  const auto data = fx.make_dataset(t.jobs());
+  EXPECT_EQ(data.num_rows(), t.size());
+  EXPECT_EQ(data.num_features(), fx.num_features());
+}
+
+TEST(FeatureExtractor, RejectsBadBucketCount) {
+  EXPECT_THROW(FeatureExtractor(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace byom::features

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "framework/dataflow.h"
+#include "framework/pipeline_runner.h"
+#include "framework/shuffle.h"
+
+namespace byom::framework {
+namespace {
+
+using common::kGiB;
+using common::kMiB;
+
+// ---------------------------------------------------------------- dataflow
+
+TEST(Dataflow, AddStagesAndEdges) {
+  DataflowGraph g;
+  const int a = g.add_stage({"A", "Read", 4, false});
+  const int b = g.add_stage({"B", "GroupByKey", 4, true});
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_stages(), 2u);
+  EXPECT_EQ(g.stage(b).operation, "GroupByKey");
+  EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(Dataflow, RejectsBadEdges) {
+  DataflowGraph g;
+  const int a = g.add_stage({"A", "Read", 1, false});
+  EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, 5), std::invalid_argument);
+  EXPECT_THROW(g.stage(9), std::out_of_range);
+}
+
+TEST(Dataflow, ShuffleStagesFiltered) {
+  const auto g = make_etl_graph(8);
+  const auto shuffles = g.shuffle_stages();
+  EXPECT_EQ(shuffles.size(), 2u);  // GroupByKey + CombinePerKey
+  for (int id : shuffles) EXPECT_TRUE(g.stage(id).shuffles);
+}
+
+TEST(Dataflow, TopologicalOrderRespectsEdges) {
+  const auto g = make_join_graph(8);
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), g.num_stages());
+  std::vector<int> position(g.num_stages());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (const auto& [from, to] : g.edges()) {
+    EXPECT_LT(position[static_cast<std::size_t>(from)],
+              position[static_cast<std::size_t>(to)]);
+  }
+}
+
+TEST(Dataflow, CycleDetected) {
+  DataflowGraph g;
+  const int a = g.add_stage({"A", "X", 1, false});
+  const int b = g.add_stage({"B", "X", 1, false});
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_THROW(g.topological_order(), std::runtime_error);
+}
+
+TEST(Dataflow, Predecessors) {
+  const auto g = make_join_graph(8);
+  // JoinByKey (stage 2) has both read stages as predecessors.
+  const auto preds = g.predecessors(2);
+  EXPECT_EQ(preds.size(), 2u);
+}
+
+// ----------------------------------------------------------------- shuffle
+
+TEST(Shuffle, PlanScalesWithBytes) {
+  const auto small = plan_shuffle(kGiB, 1024.0, 8, 8);
+  const auto large = plan_shuffle(64 * kGiB, 1024.0, 8, 8);
+  EXPECT_GE(large.initial_num_buckets, small.initial_num_buckets);
+  EXPECT_GT(large.records, small.records);
+}
+
+TEST(Shuffle, AtLeastOneBucketPerWorker) {
+  const auto plan = plan_shuffle(kMiB, 1024.0, 16, 4);
+  EXPECT_GE(plan.initial_num_buckets, 16);
+}
+
+TEST(Shuffle, FanOutCapped) {
+  const auto plan = plan_shuffle(1000 * kGiB, 64.0, 2, 2);
+  EXPECT_LE(plan.initial_num_buckets, 2 * 2 * 4);
+}
+
+TEST(Shuffle, ResourcesConversionPreservesFields) {
+  const auto plan = plan_shuffle(8 * kGiB, 512.0, 12, 6);
+  const auto r = to_resources(plan);
+  EXPECT_EQ(r.bucket_sizing_num_workers, plan.num_workers);
+  EXPECT_EQ(r.num_buckets, plan.num_buckets);
+  EXPECT_EQ(r.records_written, plan.records);
+  EXPECT_EQ(r.requested_num_shards, plan.requested_num_shards);
+}
+
+TEST(Shuffle, RecordsFollowRecordSize) {
+  const auto fine = plan_shuffle(kGiB, 128.0, 4, 4);
+  const auto coarse = plan_shuffle(kGiB, 1 << 20, 4, 4);
+  EXPECT_GT(fine.records, coarse.records);
+}
+
+// ---------------------------------------------------------------- pipelines
+
+TEST(PrototypePipelines, FourKindsHaveDistinctCharacter) {
+  const auto hdd_fw = make_prototype_pipeline(0, 0, 1);
+  const auto ssd_fw = make_prototype_pipeline(1, 0, 1);
+  const auto hdd_nfw = make_prototype_pipeline(2, 0, 1);
+  const auto ssd_nfw = make_prototype_pipeline(3, 0, 1);
+  EXPECT_TRUE(hdd_fw.framework_workload);
+  EXPECT_TRUE(ssd_fw.framework_workload);
+  EXPECT_FALSE(hdd_nfw.framework_workload);
+  EXPECT_FALSE(ssd_nfw.framework_workload);
+  // SSD-suitable pipelines do small-block reads; HDD-suitable do big blocks.
+  EXPECT_LT(ssd_fw.read_block_bytes, hdd_fw.read_block_bytes);
+  EXPECT_LT(ssd_nfw.read_block_bytes, hdd_nfw.read_block_bytes);
+}
+
+TEST(PipelineRunner, EmitsOneJobPerShuffleStage) {
+  PipelineRunner runner(cost::Rates{}, 7);
+  const auto p = make_prototype_pipeline(1, 0, 7);
+  const auto jobs = runner.run(p, 100.0);
+  EXPECT_EQ(jobs.size(), p.graph.shuffle_stages().size());
+  for (const auto& j : jobs) {
+    EXPECT_EQ(j.pipeline_name, p.name);
+    EXPECT_GT(j.peak_bytes, 0u);
+    EXPECT_GT(j.cost_hdd, 0.0);
+    EXPECT_GE(j.arrival_time, 100.0);
+  }
+}
+
+TEST(PipelineRunner, HistoryAccumulatesAcrossRuns) {
+  PipelineRunner runner(cost::Rates{}, 8);
+  const auto p = make_prototype_pipeline(0, 0, 8);
+  const auto first = runner.run(p, 0.0);
+  for (const auto& j : first) EXPECT_FALSE(j.history.has_history());
+  const auto second = runner.run(p, 3600.0);
+  for (const auto& j : second) EXPECT_TRUE(j.history.has_history());
+}
+
+TEST(PipelineRunner, JobIdsAreUnique) {
+  PipelineRunner runner(cost::Rates{}, 9);
+  std::set<std::uint64_t> ids;
+  for (int kind = 0; kind < 4; ++kind) {
+    const auto p = make_prototype_pipeline(kind, kind, 9);
+    for (const auto& j : runner.run(p, kind * 100.0)) {
+      EXPECT_TRUE(ids.insert(j.job_id).second);
+    }
+  }
+}
+
+TEST(PipelineRunner, SsdSuitablePipelineSavesCost) {
+  PipelineRunner runner(cost::Rates{}, 10);
+  const auto ssd_pipe = make_prototype_pipeline(1, 0, 10);
+  const auto hdd_pipe = make_prototype_pipeline(2, 0, 10);
+  double ssd_saving = 0.0, hdd_saving = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    for (const auto& j : runner.run(ssd_pipe, i * 1000.0)) {
+      ssd_saving += j.tco_saving();
+    }
+    for (const auto& j : runner.run(hdd_pipe, i * 1000.0)) {
+      hdd_saving += j.tco_saving();
+    }
+  }
+  EXPECT_GT(ssd_saving, 0.0);
+  EXPECT_LT(hdd_saving, 0.0);
+}
+
+TEST(PipelineRunner, ResourcesComeFromShufflePlan) {
+  PipelineRunner runner(cost::Rates{}, 11);
+  const auto p = make_prototype_pipeline(1, 0, 11);
+  const auto jobs = runner.run(p, 0.0);
+  for (const auto& j : jobs) {
+    EXPECT_GT(j.resources.bucket_sizing_num_workers, 0);
+    EXPECT_GT(j.resources.num_buckets, 0);
+    EXPECT_GT(j.resources.records_written, 0);
+  }
+}
+
+}  // namespace
+}  // namespace byom::framework

@@ -1,0 +1,477 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+#include "ml/importance.h"
+#include "ml/metrics.h"
+#include "ml/tree.h"
+
+namespace byom::ml {
+namespace {
+
+using common::Rng;
+
+Dataset xor_like_dataset(std::vector<int>& labels, int n, std::uint64_t seed) {
+  // Nonlinear 2-class problem: label = (x0 > 0) XOR (x1 > 0), plus a noise
+  // feature trees should ignore.
+  Dataset data({"x0", "x1", "noise"});
+  Rng rng(seed);
+  labels.clear();
+  for (int i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.uniform(-1, 1));
+    const float x1 = static_cast<float>(rng.uniform(-1, 1));
+    const float nz = static_cast<float>(rng.uniform(-1, 1));
+    data.add_row({x0, x1, nz});
+    labels.push_back(((x0 > 0) ^ (x1 > 0)) ? 1 : 0);
+  }
+  return data;
+}
+
+Dataset three_class_dataset(std::vector<int>& labels, int n,
+                            std::uint64_t seed) {
+  // Classes are bands of x0 + 0.5 * x1; solvable by axis splits.
+  Dataset data({"x0", "x1"});
+  Rng rng(seed);
+  labels.clear();
+  for (int i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.uniform(0, 3));
+    const float x1 = static_cast<float>(rng.uniform(0, 1));
+    data.add_row({x0, x1});
+    const double s = x0 + 0.5 * x1;
+    labels.push_back(s < 1.0 ? 0 : (s < 2.0 ? 1 : 2));
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------- dataset
+
+TEST(Dataset, AddAndAccessRows) {
+  Dataset d({"a", "b"});
+  d.add_row({1.0f, 2.0f});
+  d.add_row({3.0f, 4.0f});
+  EXPECT_EQ(d.num_rows(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_FLOAT_EQ(d.at(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(d.row(0)[1], 2.0f);
+}
+
+TEST(Dataset, WrongRowWidthThrows) {
+  Dataset d({"a", "b"});
+  EXPECT_THROW(d.add_row({1.0f}), std::invalid_argument);
+}
+
+TEST(Dataset, FeatureIndexLookup) {
+  Dataset d({"alpha", "beta"});
+  EXPECT_EQ(d.feature_index("beta"), 1u);
+  EXPECT_THROW(d.feature_index("gamma"), std::out_of_range);
+}
+
+TEST(Dataset, SetMutates) {
+  Dataset d({"a"});
+  d.add_row({1.0f});
+  d.set(0, 0, 9.0f);
+  EXPECT_FLOAT_EQ(d.at(0, 0), 9.0f);
+}
+
+// ---------------------------------------------------------------- binner
+
+TEST(Binner, BinsAreMonotone) {
+  Dataset d({"x"});
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    d.add_row({static_cast<float>(rng.uniform(0, 100))});
+  }
+  const Binner binner = Binner::fit(d, 16);
+  EXPECT_LE(binner.bin_of(0, 0.0f), binner.bin_of(0, 50.0f));
+  EXPECT_LE(binner.bin_of(0, 50.0f), binner.bin_of(0, 100.0f));
+}
+
+TEST(Binner, LowCardinalityFeatureGetsFewBins) {
+  Dataset d({"flag"});
+  for (int i = 0; i < 100; ++i) {
+    d.add_row({static_cast<float>(i % 2)});
+  }
+  const Binner binner = Binner::fit(d, 64);
+  EXPECT_LE(binner.num_bins(0), 3);
+  EXPECT_NE(binner.bin_of(0, 0.0f), binner.bin_of(0, 1.0f));
+}
+
+TEST(Binner, QuantileBinsRoughlyBalanced) {
+  Dataset d({"x"});
+  Rng rng(4);
+  for (int i = 0; i < 4000; ++i) {
+    d.add_row({static_cast<float>(rng.lognormal(0, 2))});
+  }
+  const Binner binner = Binner::fit(d, 16);
+  const auto codes = binner.transform(d);
+  std::vector<int> counts(static_cast<std::size_t>(binner.num_bins(0)), 0);
+  for (auto code : codes[0]) ++counts[code];
+  for (int c : counts) EXPECT_GT(c, 4000 / 16 / 4);
+}
+
+TEST(Binner, RejectsTooFewBins) {
+  Dataset d({"x"});
+  d.add_row({1.0f});
+  EXPECT_THROW(Binner::fit(d, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- tree
+
+TEST(RegressionTree, FitsAStep) {
+  // grad = pred - target with pred = 0: grad = -target. One split at x=0
+  // should produce leaves near target means.
+  Dataset d({"x"});
+  std::vector<double> grad, hess;
+  std::vector<std::uint32_t> rows;
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-1, 1);
+    d.add_row({static_cast<float>(x)});
+    const double target = x < 0 ? -2.0 : 3.0;
+    grad.push_back(-target);
+    hess.push_back(1.0);
+    rows.push_back(static_cast<std::uint32_t>(i));
+  }
+  const Binner binner = Binner::fit(d, 32);
+  const auto codes = binner.transform(d);
+  TreeParams params;
+  params.max_depth = 2;
+  const auto tree = RegressionTree::fit(codes, binner, grad, hess, rows,
+                                        params);
+  const float neg = -0.5f, pos = 0.5f;
+  EXPECT_NEAR(tree.predict(&neg), -2.0, 0.3);
+  EXPECT_NEAR(tree.predict(&pos), 3.0, 0.3);
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+  Dataset d({"x"});
+  std::vector<double> grad, hess;
+  std::vector<std::uint32_t> rows;
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0, 1);
+    d.add_row({static_cast<float>(x)});
+    grad.push_back(-std::sin(20 * x));
+    hess.push_back(1.0);
+    rows.push_back(static_cast<std::uint32_t>(i));
+  }
+  const Binner binner = Binner::fit(d, 64);
+  const auto codes = binner.transform(d);
+  TreeParams params;
+  params.max_depth = 3;
+  params.min_samples_leaf = 5;
+  const auto tree =
+      RegressionTree::fit(codes, binner, grad, hess, rows, params);
+  EXPECT_LE(tree.depth(), 4);  // root at depth 1
+}
+
+TEST(RegressionTree, MinSamplesLeafBlocksTinySplits) {
+  Dataset d({"x"});
+  std::vector<double> grad = {-1, -1, 1, 1};
+  std::vector<double> hess = {1, 1, 1, 1};
+  std::vector<std::uint32_t> rows = {0, 1, 2, 3};
+  for (float x : {0.0f, 0.1f, 0.9f, 1.0f}) d.add_row({x});
+  const Binner binner = Binner::fit(d, 8);
+  const auto codes = binner.transform(d);
+  TreeParams params;
+  params.min_samples_leaf = 20;  // more than available
+  const auto tree =
+      RegressionTree::fit(codes, binner, grad, hess, rows, params);
+  EXPECT_EQ(tree.num_nodes(), 1u);  // no split possible
+}
+
+TEST(RegressionTree, SerializationRoundTrip) {
+  Dataset d({"x", "y"});
+  std::vector<double> grad, hess;
+  std::vector<std::uint32_t> rows;
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const float x = static_cast<float>(rng.uniform(-1, 1));
+    const float y = static_cast<float>(rng.uniform(-1, 1));
+    d.add_row({x, y});
+    grad.push_back(-(x > 0 ? 1.0 : -1.0) * (y > 0 ? 1.0 : 2.0));
+    hess.push_back(1.0);
+    rows.push_back(static_cast<std::uint32_t>(i));
+  }
+  const Binner binner = Binner::fit(d, 32);
+  const auto tree = RegressionTree::fit(binner.transform(d), binner, grad,
+                                        hess, rows, TreeParams{});
+  std::stringstream ss;
+  tree.save(ss);
+  const auto loaded = RegressionTree::load(ss);
+  for (int i = 0; i < 50; ++i) {
+    const float probe[2] = {static_cast<float>(std::sin(i)),
+                            static_cast<float>(std::cos(i))};
+    EXPECT_DOUBLE_EQ(tree.predict(probe), loaded.predict(probe));
+  }
+}
+
+// ---------------------------------------------------------------- GBDT
+
+TEST(GbdtClassifier, LearnsXor) {
+  std::vector<int> labels;
+  const auto data = xor_like_dataset(labels, 2000, 11);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 30;
+  model.train(data, labels, 2, params);
+
+  std::vector<int> test_labels;
+  const auto test = xor_like_dataset(test_labels, 500, 12);
+  std::vector<int> pred;
+  for (std::size_t r = 0; r < test.num_rows(); ++r) {
+    pred.push_back(model.predict(test.row(r)));
+  }
+  EXPECT_GT(accuracy(pred, test_labels), 0.9);
+}
+
+TEST(GbdtClassifier, LearnsThreeClasses) {
+  std::vector<int> labels;
+  const auto data = three_class_dataset(labels, 3000, 13);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 25;
+  model.train(data, labels, 3, params);
+  std::vector<int> test_labels;
+  const auto test = three_class_dataset(test_labels, 600, 14);
+  std::vector<int> pred;
+  for (std::size_t r = 0; r < test.num_rows(); ++r) {
+    pred.push_back(model.predict(test.row(r)));
+  }
+  EXPECT_GT(accuracy(pred, test_labels), 0.9);
+}
+
+TEST(GbdtClassifier, ProbabilitiesSumToOne) {
+  std::vector<int> labels;
+  const auto data = three_class_dataset(labels, 500, 15);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 5;
+  model.train(data, labels, 3, params);
+  const auto p = model.predict_proba(data.row(0));
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GbdtClassifier, RespectsTreeBudget) {
+  std::vector<int> labels;
+  const auto data = three_class_dataset(labels, 400, 16);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 1000;      // would be 3000 trees...
+  params.max_trees_total = 30;   // ...but the budget caps at 30
+  model.train(data, labels, 3, params);
+  EXPECT_LE(model.num_trees(), 30u);
+}
+
+TEST(GbdtClassifier, ValidatesInputs) {
+  Dataset d({"x"});
+  d.add_row({0.0f});
+  GbdtClassifier model;
+  EXPECT_THROW(model.train(d, {0, 1}, 2), std::invalid_argument);   // size
+  EXPECT_THROW(model.train(d, {5}, 2), std::invalid_argument);      // range
+  EXPECT_THROW(model.train(d, {0}, 1), std::invalid_argument);      // classes
+}
+
+TEST(GbdtClassifier, SerializationRoundTrip) {
+  std::vector<int> labels;
+  const auto data = three_class_dataset(labels, 800, 17);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 10;
+  model.train(data, labels, 3, params);
+  std::stringstream ss;
+  model.save(ss);
+  const auto loaded = GbdtClassifier::load(ss);
+  EXPECT_EQ(loaded.num_classes(), 3);
+  EXPECT_EQ(loaded.num_trees(), model.num_trees());
+  for (std::size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(model.predict(data.row(r)), loaded.predict(data.row(r)));
+  }
+}
+
+TEST(GbdtClassifier, LoadRejectsGarbage) {
+  std::stringstream ss("not_a_model at all");
+  EXPECT_THROW(GbdtClassifier::load(ss), std::runtime_error);
+}
+
+TEST(GbdtClassifier, SplitCountsFavorInformativeFeatures) {
+  std::vector<int> labels;
+  const auto data = xor_like_dataset(labels, 2000, 18);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 20;
+  model.train(data, labels, 2, params);
+  const auto counts = model.split_counts(3);
+  // x0 and x1 carry all signal; the noise feature should be split on less.
+  EXPECT_GT(counts[0] + counts[1], counts[2] * 3);
+}
+
+TEST(GbdtRegressor, FitsQuadratic) {
+  Dataset data({"x"});
+  std::vector<double> targets;
+  Rng rng(19);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-2, 2);
+    data.add_row({static_cast<float>(x)});
+    targets.push_back(x * x);
+  }
+  GbdtRegressor model;
+  GbdtParams params;
+  params.num_rounds = 60;
+  model.train(data, targets, params);
+  double mse = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const float x = static_cast<float>(-2.0 + 4.0 * i / 99.0);
+    const double err = model.predict(&x) - x * x;
+    mse += err * err;
+  }
+  EXPECT_LT(mse / 100.0, 0.05);
+}
+
+TEST(GbdtRegressor, ConstantTargetGivesBase) {
+  Dataset data({"x"});
+  std::vector<double> targets;
+  for (int i = 0; i < 50; ++i) {
+    data.add_row({static_cast<float>(i)});
+    targets.push_back(7.5);
+  }
+  GbdtRegressor model;
+  model.train(data, targets);
+  const float probe = 25.0f;
+  EXPECT_NEAR(model.predict(&probe), 7.5, 1e-6);
+}
+
+TEST(GbdtRegressor, SerializationRoundTrip) {
+  Dataset data({"x"});
+  std::vector<double> targets;
+  Rng rng(20);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 1);
+    data.add_row({static_cast<float>(x)});
+    targets.push_back(3.0 * x);
+  }
+  GbdtRegressor model;
+  model.train(data, targets);
+  std::stringstream ss;
+  model.save(ss);
+  const auto loaded = GbdtRegressor::load(ss);
+  const float probe = 0.5f;
+  EXPECT_DOUBLE_EQ(model.predict(&probe), loaded.predict(&probe));
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy({1, 0, 3}, {1, 2, 3}), 2.0 / 3.0);
+  EXPECT_THROW(accuracy({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Metrics, TopKAccuracy) {
+  const std::vector<std::vector<double>> scores{
+      {0.5, 0.3, 0.2},  // label 1: second-best -> top-2 hit
+      {0.1, 0.2, 0.7},  // label 2: best -> top-1 hit
+  };
+  const std::vector<int> labels{1, 2};
+  EXPECT_DOUBLE_EQ(top_k_accuracy(scores, labels, 1), 0.5);
+  EXPECT_DOUBLE_EQ(top_k_accuracy(scores, labels, 2), 1.0);
+}
+
+TEST(Metrics, AucPerfectSeparation) {
+  EXPECT_DOUBLE_EQ(binary_auc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(Metrics, AucInverted) {
+  EXPECT_DOUBLE_EQ(binary_auc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(Metrics, AucRandomIsHalf) {
+  Rng rng(21);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.bernoulli(0.5) ? 1 : 0);
+  }
+  EXPECT_NEAR(binary_auc(scores, labels), 0.5, 0.02);
+}
+
+TEST(Metrics, AucDegenerateClasses) {
+  EXPECT_DOUBLE_EQ(binary_auc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(binary_auc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(Metrics, AucHandlesTies) {
+  // All scores equal: AUC must be 0.5 by symmetry.
+  EXPECT_DOUBLE_EQ(binary_auc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(Metrics, ConfusionMatrixCounts) {
+  const auto m = confusion_matrix({0, 1, 1, 2}, {0, 1, 2, 2}, 3);
+  EXPECT_EQ(m[0][0], 1);
+  EXPECT_EQ(m[1][1], 1);
+  EXPECT_EQ(m[2][1], 1);
+  EXPECT_EQ(m[2][2], 1);
+}
+
+TEST(Metrics, LogLossPerfect) {
+  const std::vector<std::vector<double>> p{{1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_NEAR(log_loss(p, {0, 1}), 0.0, 1e-9);
+}
+
+// -------------------------------------------------------------- importance
+
+TEST(Importance, InformativeFeatureDominates) {
+  std::vector<int> labels;
+  const auto data = xor_like_dataset(labels, 1500, 22);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 20;
+  model.train(data, labels, 2, params);
+  Rng rng(23);
+  const auto imp = auc_decrease_importance(model, data, labels, rng);
+  ASSERT_EQ(imp.size(), 2u);
+  for (const auto& ci : imp) {
+    // x0 + x1 importance dwarfs the noise feature.
+    EXPECT_GT(ci.auc_decrease[0] + ci.auc_decrease[1],
+              5.0 * ci.auc_decrease[2]);
+  }
+}
+
+TEST(Importance, NormalizedPerCategory) {
+  std::vector<int> labels;
+  const auto data = three_class_dataset(labels, 1200, 24);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 15;
+  model.train(data, labels, 3, params);
+  Rng rng(25);
+  const auto imp = auc_decrease_importance(model, data, labels, rng);
+  for (const auto& ci : imp) {
+    double sum = 0.0;
+    for (double v : ci.auc_decrease) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(Importance, GroupAggregation) {
+  std::vector<CategoryImportance> imp(1);
+  imp[0].category = 0;
+  imp[0].auc_decrease = {0.6, 0.2, 0.2};
+  const auto groups = group_importance(imp, {0, 1, 1}, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_NEAR(groups[0][0], 0.6, 1e-12);        // single-feature group
+  EXPECT_NEAR(groups[1][0], 0.2, 1e-12);        // mean of two features
+}
+
+}  // namespace
+}  // namespace byom::ml

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/units.h"
+#include "policy/first_fit.h"
+#include "policy/policy.h"
+#include "sim/experiment.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+namespace byom::sim {
+namespace {
+
+using common::kGiB;
+
+trace::Job make_job(double arrival, double lifetime, std::uint64_t bytes,
+                    bool dense = true) {
+  static std::uint64_t next_id = 1;
+  trace::Job j;
+  j.job_id = next_id++;
+  j.job_key = "pipe/step";
+  j.arrival_time = arrival;
+  j.lifetime = lifetime;
+  j.peak_bytes = bytes;
+  j.io.bytes_written = bytes;
+  j.io.bytes_read = dense ? 4 * bytes : bytes / 8;
+  j.io.avg_read_block = dense ? 8.0 * 1024.0 : 1024.0 * 1024.0;
+  j.compute_costs(cost::CostModel{});
+  return j;
+}
+
+// A policy that always says SSD / HDD.
+class AlwaysPolicy final : public policy::PlacementPolicy {
+ public:
+  explicit AlwaysPolicy(policy::Device device, double ttl = 0.0)
+      : device_(device), ttl_(ttl) {}
+  std::string name() const override { return "Always"; }
+  policy::Device decide(const trace::Job&,
+                        const policy::StorageView&) override {
+    return device_;
+  }
+  double eviction_ttl(const trace::Job&) const override { return ttl_; }
+
+ private:
+  policy::Device device_;
+  double ttl_;
+};
+
+// ---------------------------------------------------------------- simulate
+
+TEST(Simulator, AllHddHasZeroSavings) {
+  trace::Trace t(0, {make_job(0, 600, kGiB), make_job(100, 600, kGiB)});
+  AlwaysPolicy p(policy::Device::kHdd);
+  SimConfig cfg;
+  cfg.ssd_capacity_bytes = 100 * kGiB;
+  const auto r = simulate(t, p, cfg);
+  EXPECT_DOUBLE_EQ(r.tco_savings_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(r.tcio_savings_pct(), 0.0);
+  EXPECT_EQ(r.jobs_scheduled_ssd, 0u);
+}
+
+TEST(Simulator, DenseJobsOnSsdSaveMoney) {
+  trace::Trace t(0, {make_job(0, 600, kGiB), make_job(100, 600, kGiB)});
+  AlwaysPolicy p(policy::Device::kSsd);
+  SimConfig cfg;
+  cfg.ssd_capacity_bytes = 100 * kGiB;
+  const auto r = simulate(t, p, cfg);
+  EXPECT_GT(r.tco_savings_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(r.tcio_savings_pct(), 100.0);
+  EXPECT_EQ(r.jobs_scheduled_ssd, 2u);
+}
+
+TEST(Simulator, CapacityForcesSpill) {
+  // Two overlapping 1 GiB jobs with capacity for 1.5 GiB: second spills 50%.
+  trace::Trace t(0, {make_job(0, 600, kGiB), make_job(10, 600, kGiB)});
+  AlwaysPolicy p(policy::Device::kSsd);
+  SimConfig cfg;
+  cfg.ssd_capacity_bytes = kGiB + kGiB / 2;
+  cfg.record_outcomes = true;
+  const auto r = simulate(t, p, cfg);
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].spill_fraction, 0.0);
+  EXPECT_NEAR(r.outcomes[1].spill_fraction, 0.5, 1e-9);
+  EXPECT_LT(r.tcio_savings_pct(), 100.0);
+}
+
+TEST(Simulator, CapacityReusedAfterEnd) {
+  // Sequential jobs: no spill despite 1 GiB capacity.
+  trace::Trace t(0, {make_job(0, 100, kGiB), make_job(200, 100, kGiB)});
+  AlwaysPolicy p(policy::Device::kSsd);
+  SimConfig cfg;
+  cfg.ssd_capacity_bytes = kGiB;
+  cfg.record_outcomes = true;
+  const auto r = simulate(t, p, cfg);
+  EXPECT_DOUBLE_EQ(r.outcomes[1].spill_fraction, 0.0);
+}
+
+TEST(Simulator, EvictionTtlShortensResidency) {
+  trace::Trace t(0, {make_job(0, 1000, kGiB)});
+  AlwaysPolicy p(policy::Device::kSsd, /*ttl=*/250.0);
+  SimConfig cfg;
+  cfg.ssd_capacity_bytes = 10 * kGiB;
+  cfg.record_outcomes = true;
+  const auto r = simulate(t, p, cfg);
+  EXPECT_NEAR(r.outcomes[0].ssd_time_share, 0.25, 1e-9);
+  // TCIO savings only accrue while resident.
+  EXPECT_NEAR(r.tcio_savings_pct(), 25.0, 0.1);
+}
+
+TEST(Simulator, EvictionFreesCapacityEarly) {
+  // First job evicted at t=100; second job arriving at t=150 fits fully.
+  trace::Trace t(0, {make_job(0, 1000, kGiB), make_job(150, 100, kGiB)});
+  AlwaysPolicy p(policy::Device::kSsd, /*ttl=*/100.0);
+  SimConfig cfg;
+  cfg.ssd_capacity_bytes = kGiB;
+  cfg.record_outcomes = true;
+  const auto r = simulate(t, p, cfg);
+  EXPECT_DOUBLE_EQ(r.outcomes[1].spill_fraction, 0.0);
+}
+
+TEST(Simulator, PeakUsageTracked) {
+  trace::Trace t(0, {make_job(0, 600, kGiB), make_job(10, 600, kGiB)});
+  AlwaysPolicy p(policy::Device::kSsd);
+  SimConfig cfg;
+  cfg.ssd_capacity_bytes = 10 * kGiB;
+  const auto r = simulate(t, p, cfg);
+  EXPECT_EQ(r.peak_ssd_used_bytes, 2 * kGiB);
+}
+
+TEST(Simulator, TcoMatchesManualAccounting) {
+  const auto job = make_job(0, 600, kGiB);
+  trace::Trace t(0, {job});
+  AlwaysPolicy p(policy::Device::kSsd);
+  SimConfig cfg;
+  cfg.ssd_capacity_bytes = 10 * kGiB;
+  const auto r = simulate(t, p, cfg);
+  EXPECT_NEAR(r.tco_actual, job.cost_ssd, job.cost_ssd * 1e-9);
+  EXPECT_NEAR(r.tco_all_hdd, job.cost_hdd, 1e-12);
+}
+
+TEST(Simulator, ZeroCapacityMeansFullSpill) {
+  trace::Trace t(0, {make_job(0, 600, kGiB)});
+  AlwaysPolicy p(policy::Device::kSsd);
+  SimConfig cfg;
+  cfg.ssd_capacity_bytes = 0;
+  const auto r = simulate(t, p, cfg);
+  EXPECT_NEAR(r.tco_savings_pct(), 0.0, 1e-9);
+  EXPECT_NEAR(r.tcio_savings_pct(), 0.0, 1e-9);
+}
+
+// -------------------------------------------------------------- experiment
+
+TEST(Experiment, MethodNamesAreStable) {
+  EXPECT_STREQ(method_name(MethodId::kFirstFit), "FirstFit");
+  EXPECT_STREQ(method_name(MethodId::kAdaptiveRanking), "AdaptiveRanking");
+  EXPECT_STREQ(method_name(MethodId::kOracleTco), "OracleTCO");
+}
+
+TEST(Experiment, QuotaCapacityScalesWithPeak) {
+  trace::Trace t(0, {make_job(0, 600, kGiB), make_job(10, 600, kGiB)});
+  EXPECT_EQ(quota_capacity(t, 0.5), kGiB);
+  EXPECT_EQ(quota_capacity(t, 1.0), 2 * kGiB);
+}
+
+class ExperimentFactoryTest : public ::testing::Test {
+ protected:
+  static trace::TrainTestSplit& split() {
+    static trace::TrainTestSplit s = [] {
+      trace::GeneratorConfig cfg = trace::canonical_cluster_config(0, 777);
+      cfg.num_pipelines = 14;
+      cfg.duration = 6.0 * 86400.0;
+      return trace::split_train_test(trace::generate_cluster_trace(cfg));
+    }();
+    return s;
+  }
+  static MethodFactory& factory() {
+    static MethodFactory f = [] {
+      core::CategoryModelConfig mc;
+      mc.num_categories = 8;
+      mc.gbdt.num_rounds = 10;
+      return MethodFactory(split().train, cost::Rates{}, mc);
+    }();
+    return f;
+  }
+};
+
+TEST_F(ExperimentFactoryTest, BuildsEveryMethod) {
+  const auto cap = quota_capacity(split().test, 0.05);
+  for (MethodId id :
+       {MethodId::kFirstFit, MethodId::kHeuristic, MethodId::kMlBaseline,
+        MethodId::kAdaptiveHash, MethodId::kAdaptiveRanking,
+        MethodId::kOracleTco, MethodId::kOracleTcio,
+        MethodId::kTrueCategory}) {
+    const auto policy = factory().make(id, split().test, cap);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), method_name(id));
+  }
+}
+
+TEST_F(ExperimentFactoryTest, RunMethodProducesSavings) {
+  const auto cap = quota_capacity(split().test, 0.05);
+  const auto r = run_method(factory(), MethodId::kOracleTco, split().test,
+                            cap);
+  EXPECT_GT(r.tco_savings_pct(), 0.0);
+  EXPECT_EQ(r.jobs_total, split().test.size());
+}
+
+TEST_F(ExperimentFactoryTest, OracleBeatsFirstFitAtTightQuota) {
+  const auto cap = quota_capacity(split().test, 0.01);
+  const auto oracle =
+      run_method(factory(), MethodId::kOracleTco, split().test, cap);
+  const auto ff =
+      run_method(factory(), MethodId::kFirstFit, split().test, cap);
+  EXPECT_GT(oracle.tco_savings_pct(), ff.tco_savings_pct());
+}
+
+TEST_F(ExperimentFactoryTest, ExternalModelInjection) {
+  MethodFactory other(split().train);
+  core::CategoryModelConfig mc;
+  mc.num_categories = 8;
+  mc.gbdt.num_rounds = 5;
+  other.set_category_model(
+      core::CategoryModel::train(split().train.jobs(), mc));
+  EXPECT_EQ(other.category_model().num_categories(), 8);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(SweepTable, CsvFormat) {
+  SweepTable table("quota", {"A", "B"});
+  table.add_row(0.1, {1.0, 2.0});
+  table.add_row(0.2, {3.0, 4.0});
+  const auto csv = table.to_csv(1);
+  EXPECT_NE(csv.find("quota,A,B"), std::string::npos);
+  EXPECT_NE(csv.find("0.1,1.0,2.0"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.value(1, 0), 3.0);
+}
+
+TEST(SweepTable, RowWidthValidated) {
+  SweepTable table("x", {"A"});
+  EXPECT_THROW(table.add_row(0.0, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ImprovementFactor, Formats) {
+  EXPECT_EQ(improvement_factor(3.47, 1.0), "3.47x");
+  EXPECT_EQ(improvement_factor(1.0, 0.0), "infx");
+}
+
+}  // namespace
+}  // namespace byom::sim
