@@ -42,20 +42,24 @@ BenchCluster make_bench_cluster(std::uint32_t cluster_id, int num_pipelines,
 PrecomputedCategories::PrecomputedCategories(const core::CategoryModel& model,
                                              const trace::Trace& test,
                                              bool use_true_category) {
-  auto map = std::make_shared<std::map<std::uint64_t, int>>();
-  for (const auto& job : test.jobs()) {
-    (*map)[job.job_id] = use_true_category ? model.true_category(job)
-                                           : model.predict_category(job);
+  const auto& jobs = test.jobs();
+  auto map = std::make_shared<policy::CategoryHints>();
+  map->reserve(jobs.size());
+  if (use_true_category) {
+    for (const auto& job : jobs) {
+      map->emplace(job.job_id, model.true_category(job));
+    }
+  } else {
+    const auto categories = model.predict_categories(jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      map->emplace(jobs[i].job_id, categories[i]);
+    }
   }
-  categories_ = std::move(map);
+  hints_ = std::move(map);
 }
 
 policy::AdaptiveCategoryPolicy::CategoryFn PrecomputedCategories::fn() const {
-  auto map = categories_;
-  return [map](const trace::Job& job) {
-    const auto it = map->find(job.job_id);
-    return it != map->end() ? it->second : 0;
-  };
+  return policy::hinted_category_fn(hints_, nullptr);
 }
 
 std::unique_ptr<policy::AdaptiveCategoryPolicy> make_precomputed_ranking(
@@ -170,7 +174,11 @@ MixedDeploymentResult MixedDeployment::run_adaptive_ranking(
   registry->set_default_model(model);
   policy::AdaptiveConfig cfg;
   cfg.num_categories = model->num_categories();
-  storage::CacheServer server(cap, core::make_byom_policy(registry, cfg));
+  // One batched inference pass over the replayed jobs; the cache server's
+  // per-arrival decisions then consume precomputed hints.
+  storage::CacheServer server(cap,
+                              core::make_byom_policy_batched(registry, test,
+                                                             cfg));
   for (const auto& j : test) server.submit(j);
   return measure(server);
 }

@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,16 +36,21 @@ BenchCluster make_bench_cluster(std::uint32_t cluster_id,
 // depth <= 6).
 core::CategoryModelConfig bench_model_config(int categories = 15);
 
-// Precomputed per-job categories: lets sweeps reuse one inference pass.
+// Precomputed per-job categories: one batched inference pass
+// (CategoryModel::predict_batch) shared by every simulation of a sweep.
 class PrecomputedCategories {
  public:
   PrecomputedCategories(const core::CategoryModel& model,
                         const trace::Trace& test, bool use_true_category);
 
   policy::AdaptiveCategoryPolicy::CategoryFn fn() const;
+  // Hint table for MethodFactory::set_predicted_hints / set_true_hints.
+  std::shared_ptr<const policy::CategoryHints> hints() const {
+    return hints_;
+  }
 
  private:
-  std::shared_ptr<const std::map<std::uint64_t, int>> categories_;
+  std::shared_ptr<const policy::CategoryHints> hints_;
 };
 
 // Builds an AdaptiveRanking policy over precomputed categories.

@@ -4,13 +4,15 @@
 //   * AdaptiveRanking > AdaptiveHash (the model matters) and beats the
 //     practical baselines, especially at small quotas;
 //   * TCO curves flatten (or dip) at large quotas, unlike TCIO.
+//
+// The 7 x 10 (method x quota) grid runs through the parallel
+// ExperimentRunner: one batched inference pass feeds every AdaptiveRanking
+// cell, and the cells shard across a thread pool with results identical to
+// the serial path.
 #include <cstdio>
-#include <memory>
 
 #include "common.h"
-#include "policy/cachesack.h"
-#include "policy/first_fit.h"
-#include "policy/lifetime_ml.h"
+#include "sim/experiment_runner.h"
 #include "sim/metrics.h"
 
 using namespace byom;
@@ -22,50 +24,39 @@ int main() {
       "oracle >> adaptive ranking > adaptive hash ~ heuristics; ranking "
       "advantage largest at small quota");
 
-  const auto cluster = bench::make_bench_cluster(0);
+  auto cluster = bench::make_bench_cluster(0);
   const auto& test = cluster.split.test;
-  const auto& factory = *cluster.factory;
+  auto& factory = *cluster.factory;
 
-  // Train once; reuse across quotas.
+  // Train once and run one batched inference pass; every AdaptiveRanking
+  // cell consumes the same hint table.
   const bench::PrecomputedCategories predicted(factory.category_model(), test,
                                                false);
-  auto ml_baseline =
-      factory.make(sim::MethodId::kMlBaseline, test, /*capacity=*/0);
+  factory.set_predicted_hints(predicted.hints());
+
+  const std::vector<sim::MethodId> methods = {
+      sim::MethodId::kAdaptiveRanking, sim::MethodId::kAdaptiveHash,
+      sim::MethodId::kMlBaseline,      sim::MethodId::kFirstFit,
+      sim::MethodId::kHeuristic,       sim::MethodId::kOracleTco,
+      sim::MethodId::kOracleTcio};
+  const std::vector<double> quotas = {0.005, 0.01, 0.02, 0.05, 0.1,
+                                      0.2,   0.35, 0.5,  0.75, 1.0};
+
+  sim::ExperimentRunner runner;
+  const auto cluster_index = runner.add_cluster(&factory, &test);
+  const auto cells = runner.make_grid(cluster_index, methods, quotas);
+  const auto results = runner.run(cells);
 
   sim::SweepTable table("quota",
                         {"AdaptiveRanking", "AdaptiveHash", "MLBaseline",
                          "FirstFit", "Heuristic", "OracleTCO", "OracleTCIO"});
-  for (double quota : {0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75,
-                       1.0}) {
-    const auto cap = sim::quota_capacity(test, quota);
+  // make_grid produces quota-major cells: one table row per quota.
+  for (std::size_t q = 0; q < quotas.size(); ++q) {
     std::vector<double> row;
-
-    auto ranking =
-        bench::make_precomputed_ranking(predicted, factory.adaptive_config());
-    row.push_back(bench::run_policy(*ranking, test, cap).tco_savings_pct());
-
-    policy::AdaptiveCategoryPolicy hash(
-        "AdaptiveHash",
-        policy::hash_category_fn(factory.adaptive_config().num_categories),
-        factory.adaptive_config());
-    row.push_back(bench::run_policy(hash, test, cap).tco_savings_pct());
-
-    row.push_back(bench::run_policy(*ml_baseline, test, cap)
-                      .tco_savings_pct());
-
-    policy::FirstFitPolicy first_fit;
-    row.push_back(bench::run_policy(first_fit, test, cap).tco_savings_pct());
-
-    policy::CacheSackPolicy heuristic(factory.train_trace().jobs(), cap);
-    row.push_back(bench::run_policy(heuristic, test, cap).tco_savings_pct());
-
-    row.push_back(sim::run_method(factory, sim::MethodId::kOracleTco, test,
-                                  cap)
-                      .tco_savings_pct());
-    row.push_back(sim::run_method(factory, sim::MethodId::kOracleTcio, test,
-                                  cap)
-                      .tco_savings_pct());
-    table.add_row(quota, row);
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      row.push_back(results[q * methods.size() + m].result.tco_savings_pct());
+    }
+    table.add_row(quotas[q], row);
   }
   std::printf("%s", table.to_csv(3).c_str());
 
@@ -78,5 +69,7 @@ int main() {
   std::printf("# at quota 0.01: ours=%.3f%%, best baseline=%.3f%% -> %s\n",
               ours, best_baseline,
               sim::improvement_factor(ours, best_baseline).c_str());
+  std::printf("# grid: %zu cells on %zu threads\n", cells.size(),
+              runner.num_threads());
   return 0;
 }

@@ -3,9 +3,15 @@
 // finding: the curves are close - beyond a point, better accuracy has
 // diminishing returns; the category design and the adaptive algorithm are
 // what matter.
+//
+// Both series run through the parallel ExperimentRunner: one batched
+// inference pass (predicted) and one labeling pass (truth) feed every cell
+// via the factory's hint tables.
+#include <algorithm>
 #include <cstdio>
 
 #include "common.h"
+#include "sim/experiment_runner.h"
 #include "sim/metrics.h"
 
 using namespace byom;
@@ -18,26 +24,33 @@ int main() {
       "true-category curve close to predicted-category curve (diminishing "
       "returns from accuracy)");
 
-  const auto cluster = bench::make_bench_cluster(0);
+  auto cluster = bench::make_bench_cluster(0);
   const auto& test = cluster.split.test;
-  const auto& model = cluster.factory->category_model();
+  auto& factory = *cluster.factory;
+  const auto& model = factory.category_model();
 
   const bench::PrecomputedCategories predicted(model, test, false);
   const bench::PrecomputedCategories truth(model, test, true);
+  factory.set_predicted_hints(predicted.hints());
+  factory.set_true_hints(truth.hints());
 
   std::printf("# model top-1 accuracy on test week: %.3f\n",
               model.top1_accuracy(test.jobs()));
+
+  sim::ExperimentRunner runner;
+  const auto cluster_index = runner.add_cluster(&factory, &test);
+  const std::vector<sim::MethodId> methods = {
+      sim::MethodId::kAdaptiveRanking, sim::MethodId::kTrueCategory};
+  const std::vector<double> quotas = {0.005, 0.01, 0.02, 0.05, 0.1,
+                                      0.2,   0.35, 0.5,  0.75, 1.0};
+  const auto cells = runner.make_grid(cluster_index, methods, quotas);
+  const auto results = runner.run(cells);
+
   sim::SweepTable table("quota", {"predicted_category", "true_category"});
-  for (double quota :
-       {0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}) {
-    const auto cap = sim::quota_capacity(test, quota);
-    auto p = bench::make_precomputed_ranking(
-        predicted, cluster.factory->adaptive_config(), "Predicted");
-    auto t = bench::make_precomputed_ranking(
-        truth, cluster.factory->adaptive_config(), "True");
-    table.add_row(quota,
-                  {bench::run_policy(*p, test, cap).tco_savings_pct(),
-                   bench::run_policy(*t, test, cap).tco_savings_pct()});
+  for (std::size_t q = 0; q < quotas.size(); ++q) {
+    table.add_row(quotas[q],
+                  {results[q * 2].result.tco_savings_pct(),
+                   results[q * 2 + 1].result.tco_savings_pct()});
   }
   std::printf("%s", table.to_csv(3).c_str());
 

@@ -5,8 +5,11 @@
 // savings over FirstFit for BOTH groups - the approach is not limited to
 // the data processing framework.
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "common.h"
+#include "framework/thread_pool.h"
 #include "sim/metrics.h"
 
 using namespace byom;
@@ -24,12 +27,26 @@ int main() {
               deployment.train.size(), deployment.test.size(),
               static_cast<double>(deployment.peak_bytes) / (1ULL << 40));
 
+  // The (method, quota) deployments are independent cache-server replays:
+  // shard them across the pool and collect in print order.
+  const std::vector<double> quotas = {0.01, 0.20};
+  framework::ThreadPool pool;
+  std::vector<std::future<bench::MixedDeploymentResult>> ff_runs, ar_runs;
+  for (double quota : quotas) {
+    ff_runs.push_back(pool.submit(
+        [&deployment, quota] { return deployment.run_first_fit(quota); }));
+    ar_runs.push_back(pool.submit([&deployment, quota] {
+      return deployment.run_adaptive_ranking(quota);
+    }));
+  }
+
   std::printf(
       "quota,method,tco_framework,tco_non_framework,tcio_framework,"
       "tcio_non_framework\n");
-  for (double quota : {0.01, 0.20}) {
-    const auto ff = deployment.run_first_fit(quota);
-    const auto ar = deployment.run_adaptive_ranking(quota);
+  for (std::size_t qi = 0; qi < quotas.size(); ++qi) {
+    const double quota = quotas[qi];
+    const auto ff = ff_runs[qi].get();
+    const auto ar = ar_runs[qi].get();
     std::printf("%.2f,FirstFit,%.3f,%.3f,%.3f,%.3f\n", quota,
                 ff.tco_framework, ff.tco_non_framework, ff.tcio_framework,
                 ff.tcio_non_framework);

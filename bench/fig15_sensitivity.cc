@@ -5,10 +5,16 @@
 //   t_l (decision interval) in {600, 900, 1800} s
 // Paper finding: the min-max band across combinations is narrow - the
 // solution is not sensitive to hyperparameter selection.
+//
+// The 27 x 6 (hyperparameter x quota) grid runs through the parallel
+// ExperimentRunner via per-cell AdaptiveConfig overrides; all cells share
+// one batched inference pass.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "common.h"
+#include "sim/experiment_runner.h"
 
 using namespace byom;
 
@@ -18,56 +24,80 @@ int main() {
       "per-quota min/mean/max TCO savings across the 27-combination grid",
       "narrow band: insensitive to hyperparameters");
 
-  const auto cluster = bench::make_bench_cluster(0);
+  auto cluster = bench::make_bench_cluster(0);
   const auto& test = cluster.split.test;
-  const bench::PrecomputedCategories predicted(
-      cluster.factory->category_model(), test, false);
+  auto& factory = *cluster.factory;
+  const bench::PrecomputedCategories predicted(factory.category_model(), test,
+                                               false);
+  factory.set_predicted_hints(predicted.hints());
+
+  sim::ExperimentRunner runner;
+  const auto cluster_index = runner.add_cluster(&factory, &test);
 
   const double tolerance[3][2] = {{0.005, 0.03}, {0.01, 0.15}, {0.05, 0.25}};
   const double windows[3] = {600.0, 900.0, 1800.0};
   const double intervals[3] = {600.0, 900.0, 1800.0};
+  const std::vector<double> quotas = {0.01, 0.05, 0.1, 0.25, 0.5, 1.0};
 
-  std::printf("quota,min_pct,mean_pct,max_pct,band_width\n");
-  for (double quota : {0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
-    const auto cap = sim::quota_capacity(test, quota);
-    double lo = 1e300, hi = -1e300, sum = 0.0;
-    int count = 0;
+  // 27 consecutive cells per quota, in tolerance/window/interval order.
+  std::vector<sim::ExperimentCell> cells;
+  for (double quota : quotas) {
     for (const auto& tol : tolerance) {
       for (double tw : windows) {
         for (double tl : intervals) {
-          policy::AdaptiveConfig cfg = cluster.factory->adaptive_config();
+          policy::AdaptiveConfig cfg = factory.adaptive_config();
           cfg.spillover_lower = tol[0];
           cfg.spillover_upper = tol[1];
           cfg.lookback_window = tw;
           cfg.decision_interval = tl;
-          auto policy = bench::make_precomputed_ranking(predicted, cfg);
-          const double pct =
-              bench::run_policy(*policy, test, cap).tco_savings_pct();
-          lo = std::min(lo, pct);
-          hi = std::max(hi, pct);
-          sum += pct;
-          ++count;
+          sim::ExperimentCell cell;
+          cell.cluster = cluster_index;
+          cell.method = sim::MethodId::kAdaptiveRanking;
+          cell.quota = quota;
+          cell.adaptive = cfg;
+          cells.push_back(cell);
         }
       }
     }
-    std::printf("%.2f,%.3f,%.3f,%.3f,%.3f\n", quota, lo, sum / count, hi,
-                hi - lo);
+  }
+  const auto results = runner.run(cells);
+
+  std::printf("quota,min_pct,mean_pct,max_pct,band_width\n");
+  const std::size_t combos = 27;
+  for (std::size_t q = 0; q < quotas.size(); ++q) {
+    double lo = 1e300, hi = -1e300, sum = 0.0;
+    for (std::size_t c = 0; c < combos; ++c) {
+      const double pct = results[q * combos + c].result.tco_savings_pct();
+      lo = std::min(lo, pct);
+      hi = std::max(hi, pct);
+      sum += pct;
+    }
+    std::printf("%.2f,%.3f,%.3f,%.3f,%.3f\n", quotas[q], lo,
+                sum / static_cast<double>(combos), hi, hi - lo);
   }
 
   // Ablation flagged in DESIGN.md: window semantics (jobs starting within
   // vs overlapping the look-back window).
+  std::vector<sim::ExperimentCell> semantic_cells;
+  const std::vector<double> semantic_quotas = {0.01, 0.1, 0.5};
+  for (double quota : semantic_quotas) {
+    for (bool overlap : {false, true}) {
+      policy::AdaptiveConfig cfg = factory.adaptive_config();
+      cfg.window_by_overlap = overlap;
+      sim::ExperimentCell cell;
+      cell.cluster = cluster_index;
+      cell.method = sim::MethodId::kAdaptiveRanking;
+      cell.quota = quota;
+      cell.adaptive = cfg;
+      semantic_cells.push_back(cell);
+    }
+  }
+  const auto semantic_results = runner.run(semantic_cells);
   std::printf("window_semantics:quota,start_within,overlap\n");
-  for (double quota : {0.01, 0.1, 0.5}) {
-    const auto cap = sim::quota_capacity(test, quota);
-    policy::AdaptiveConfig cfg = cluster.factory->adaptive_config();
-    cfg.window_by_overlap = false;
-    auto start_within = bench::make_precomputed_ranking(predicted, cfg);
-    cfg.window_by_overlap = true;
-    auto overlap = bench::make_precomputed_ranking(predicted, cfg);
-    std::printf("%.2f,%.3f,%.3f\n", quota,
-                bench::run_policy(*start_within, test, cap)
-                    .tco_savings_pct(),
-                bench::run_policy(*overlap, test, cap).tco_savings_pct());
+  for (std::size_t q = 0; q < semantic_quotas.size(); ++q) {
+    std::printf("%.2f,%.3f,%.3f\n", semantic_quotas[q],
+                semantic_results[2 * q].result.tco_savings_pct(),
+                semantic_results[2 * q + 1].result.tco_savings_pct());
   }
   return 0;
 }

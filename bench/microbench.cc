@@ -1,14 +1,19 @@
 // Component microbenchmarks (google-benchmark): throughput of the pieces
 // that sit on the online path (feature extraction, GBDT inference,
-// Algorithm 1 decisions, simulator replay) and of the offline oracle.
+// Algorithm 1 decisions, simulator replay), the offline oracle, and the
+// parallel experiment engine (serial vs sharded quota sweep, per-job vs
+// batched model inference).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common.h"
 #include "features/tokenizer.h"
 #include "oracle/greedy_oracle.h"
 #include "policy/first_fit.h"
+#include "sim/experiment_runner.h"
 #include "storage/dram_cache.h"
 
 using namespace byom;
@@ -17,11 +22,46 @@ namespace {
 
 struct Fixture {
   bench::BenchCluster cluster = bench::make_bench_cluster(0, 14, 6.0);
+
+  Fixture() {
+    // Mirror fig07: train once, one batched inference pass shared by every
+    // AdaptiveRanking cell that the sweep benches build.
+    const bench::PrecomputedCategories predicted(
+        cluster.factory->category_model(), cluster.split.test, false);
+    cluster.factory->set_predicted_hints(predicted.hints());
+  }
 };
 
 Fixture& fixture() {
   static Fixture f;
   return f;
+}
+
+// At least 1k jobs for the inference-latency comparison (paper Figure 9a's
+// axis), replicating the test trace when it is smaller.
+const std::vector<trace::Job>& inference_jobs() {
+  static const std::vector<trace::Job> jobs = [] {
+    const auto& test = fixture().cluster.split.test.jobs();
+    std::vector<trace::Job> out;
+    while (out.size() < 1024) {
+      out.insert(out.end(), test.begin(), test.end());
+    }
+    return out;
+  }();
+  return jobs;
+}
+
+// The fig07 grid the speedup benches shard: all seven methods across a
+// representative half of the quota axis.
+std::vector<sim::ExperimentCell> sweep_cells(
+    const sim::ExperimentRunner& runner, std::size_t cluster_index) {
+  const std::vector<sim::MethodId> methods = {
+      sim::MethodId::kAdaptiveRanking, sim::MethodId::kAdaptiveHash,
+      sim::MethodId::kMlBaseline,      sim::MethodId::kFirstFit,
+      sim::MethodId::kHeuristic,       sim::MethodId::kOracleTco,
+      sim::MethodId::kOracleTcio};
+  const std::vector<double> quotas = {0.01, 0.05, 0.1, 0.35, 0.75};
+  return runner.make_grid(cluster_index, methods, quotas);
 }
 
 void BM_TokenizeMetadata(benchmark::State& state) {
@@ -97,6 +137,68 @@ void BM_CategoryModelTraining(benchmark::State& state) {
 }
 BENCHMARK(BM_CategoryModelTraining)->Arg(5)->Arg(15)->Unit(
     benchmark::kMillisecond);
+
+// ---- parallel experiment engine: serial vs sharded fig07-style sweep ----
+
+void BM_QuotaSweepSerial(benchmark::State& state) {
+  auto& cluster = fixture().cluster;
+  sim::ExperimentRunner runner(1);
+  const auto idx = runner.add_cluster(cluster.factory.get(),
+                                      &cluster.split.test);
+  const auto cells = sweep_cells(runner, idx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run_serial(cells));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cells.size()));
+}
+BENCHMARK(BM_QuotaSweepSerial)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_QuotaSweepParallel(benchmark::State& state) {
+  auto& cluster = fixture().cluster;
+  sim::ExperimentRunner runner(static_cast<std::size_t>(state.range(0)));
+  const auto idx = runner.add_cluster(cluster.factory.get(),
+                                      &cluster.split.test);
+  const auto cells = sweep_cells(runner, idx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(cells));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cells.size()));
+  state.counters["threads"] = static_cast<double>(runner.num_threads());
+}
+BENCHMARK(BM_QuotaSweepParallel)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ------- batched inference: per-job predict vs predict_batch (Fig 9a) -----
+
+void BM_InferencePerJob(benchmark::State& state) {
+  const auto& model = fixture().cluster.factory->category_model();
+  const auto& jobs = inference_jobs();
+  for (auto _ : state) {
+    int acc = 0;
+    for (const auto& job : jobs) acc += model.predict_category(job);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * jobs.size()));
+}
+BENCHMARK(BM_InferencePerJob)->Unit(benchmark::kMillisecond);
+
+void BM_InferenceBatch(benchmark::State& state) {
+  const auto& model = fixture().cluster.factory->category_model();
+  const auto& jobs = inference_jobs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_categories(jobs));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * jobs.size()));
+}
+BENCHMARK(BM_InferenceBatch)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -7,10 +7,11 @@
 
 #include <cmath>
 #include <cstdint>
-#include <numbers>
 #include <string_view>
 
 namespace byom::common {
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
 
 // SplitMix64: used to expand a single seed into a well-distributed state.
 inline std::uint64_t split_mix64(std::uint64_t& state) {
@@ -70,8 +71,7 @@ class Rng {
     double u1 = uniform();
     while (u1 <= 1e-300) u1 = uniform();
     const double u2 = uniform();
-    return std::sqrt(-2.0 * std::log(u1)) *
-           std::cos(2.0 * std::numbers::pi * u2);
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
   }
 
   double normal(double mean, double stddev) {

@@ -1,0 +1,41 @@
+// Minimal C++17 stand-in for std::span (C++20): a non-owning view over a
+// contiguous sequence. Used by the batched-inference APIs so callers can
+// pass vectors, arrays, or raw (pointer, size) pairs without copies.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace byom::common {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  // From any contiguous container exposing data()/size() with a compatible
+  // element type (e.g. std::vector<U> as Span<const U>).
+  template <typename Container,
+            typename = std::enable_if_t<std::is_convertible_v<
+                decltype(std::declval<Container&>().data()), T*>>>
+  constexpr Span(Container& c) : data_(c.data()), size_(c.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  constexpr Span subspan(std::size_t offset, std::size_t count) const {
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace byom::common

@@ -1,6 +1,8 @@
 #include "core/byom.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 namespace byom::core {
 
@@ -32,6 +34,62 @@ std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
         }
         return fallback(job);
       },
+      config);
+}
+
+policy::CategoryHints precompute_categories(
+    const ModelRegistry& registry, const std::vector<trace::Job>& jobs,
+    int fallback_num_categories) {
+  policy::CategoryHints hints;
+  hints.reserve(jobs.size());
+
+  // Group job indices by responsible model so each model sees one batch.
+  std::unordered_map<const CategoryModel*, std::vector<std::size_t>> groups;
+  const auto fallback = policy::hash_category_fn(fallback_num_categories);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (const CategoryModel* model = registry.lookup(jobs[i])) {
+      groups[model].push_back(i);
+    } else {
+      hints.emplace(jobs[i].job_id, fallback(jobs[i]));
+    }
+  }
+  for (const auto& [model, indices] : groups) {
+    const std::size_t width = model->extractor().num_features();
+    std::vector<float> values(indices.size() * width);
+    std::vector<FeatureRow> rows(indices.size());
+    for (std::size_t b = 0; b < indices.size(); ++b) {
+      const auto features = model->extractor().extract(jobs[indices[b]]);
+      std::copy(features.begin(), features.end(),
+                values.begin() + b * width);
+      rows[b] = FeatureRow{values.data() + b * width};
+    }
+    const auto categories =
+        model->predict_batch(common::Span<const FeatureRow>(rows));
+    for (std::size_t b = 0; b < indices.size(); ++b) {
+      hints.emplace(jobs[indices[b]].job_id, categories[b]);
+    }
+  }
+  return hints;
+}
+
+std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy_batched(
+    std::shared_ptr<const ModelRegistry> registry,
+    const std::vector<trace::Job>& jobs,
+    const policy::AdaptiveConfig& config) {
+  auto hints = std::make_shared<const policy::CategoryHints>(
+      precompute_categories(*registry, jobs, config.num_categories));
+  auto fallback = policy::hash_category_fn(config.num_categories);
+  return std::make_unique<policy::AdaptiveCategoryPolicy>(
+      "BYOM",
+      policy::hinted_category_fn(
+          std::move(hints),
+          [registry = std::move(registry),
+           fallback = std::move(fallback)](const trace::Job& job) {
+            if (const CategoryModel* model = registry->lookup(job)) {
+              return model->predict_category(job);
+            }
+            return fallback(job);
+          }),
       config);
 }
 

@@ -52,6 +52,21 @@ std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
     std::shared_ptr<const ModelRegistry> registry,
     const policy::AdaptiveConfig& config = {});
 
+// Batched hint precomputation: groups `jobs` by their responsible model and
+// runs one CategoryModel::predict_batch per model (instead of one tree-walk
+// per job). Jobs with no model get the hash fallback so the resulting table
+// covers every job. Categories are identical to per-job registry lookup.
+policy::CategoryHints precompute_categories(
+    const ModelRegistry& registry, const std::vector<trace::Job>& jobs,
+    int fallback_num_categories);
+
+// make_byom_policy with the known upcoming jobs pre-categorized in one
+// batched pass; jobs outside `jobs` still take the per-job lookup path.
+std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy_batched(
+    std::shared_ptr<const ModelRegistry> registry,
+    const std::vector<trace::Job>& jobs,
+    const policy::AdaptiveConfig& config = {});
+
 // One-call offline training for a workload/cluster history.
 CategoryModel train_byom_model(const std::vector<trace::Job>& history,
                                const CategoryModelConfig& config = {});

@@ -1,5 +1,6 @@
 #include "core/category_model.h"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 
@@ -32,6 +33,26 @@ std::vector<double> CategoryModel::predict_proba(const trace::Job& job) const {
 
 int CategoryModel::true_category(const trace::Job& job) const {
   return labeler_.category_of(job);
+}
+
+std::vector<int> CategoryModel::predict_batch(
+    common::Span<const FeatureRow> rows) const {
+  std::vector<const float*> pointers(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) pointers[i] = rows[i].values;
+  return classifier_.predict_batch(pointers.data(), pointers.size());
+}
+
+std::vector<int> CategoryModel::predict_categories(
+    const std::vector<trace::Job>& jobs) const {
+  const std::size_t width = extractor_.num_features();
+  std::vector<float> values(jobs.size() * width);
+  std::vector<FeatureRow> rows(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto features = extractor_.extract(jobs[i]);
+    std::copy(features.begin(), features.end(), values.begin() + i * width);
+    rows[i] = FeatureRow{values.data() + i * width};
+  }
+  return predict_batch(common::Span<const FeatureRow>(rows));
 }
 
 double CategoryModel::top1_accuracy(

@@ -8,12 +8,20 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "core/labeler.h"
 #include "features/feature_extractor.h"
 #include "ml/gbdt.h"
 #include "trace/job.h"
 
 namespace byom::core {
+
+// One pre-extracted feature vector, as consumed by the batched inference
+// path. `values` must point at extractor().num_features() floats that stay
+// alive for the duration of the predict_batch call.
+struct FeatureRow {
+  const float* values = nullptr;
+};
 
 struct CategoryModelConfig {
   int num_categories = 15;  // paper default: 15-class model
@@ -37,6 +45,15 @@ class CategoryModel {
   std::vector<double> predict_proba(const trace::Job& job) const;
   // Ground-truth category from post-execution measurements.
   int true_category(const trace::Job& job) const;
+
+  // Batched inference over pre-extracted feature rows. Bit-identical to
+  // calling predict_category per row, but traverses the forest tree-by-tree
+  // across the whole batch (cache-friendly node-block order).
+  std::vector<int> predict_batch(common::Span<const FeatureRow> rows) const;
+  // Convenience: extracts features for every job, then predicts in one
+  // batch. This is the sweep/serving fast path.
+  std::vector<int> predict_categories(
+      const std::vector<trace::Job>& jobs) const;
 
   // Top-1 accuracy of the model on a held-out population.
   double top1_accuracy(const std::vector<trace::Job>& test_jobs) const;

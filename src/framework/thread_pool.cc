@@ -1,0 +1,71 @@
+#include "framework/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace byom::framework {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t num_blocks = std::min(count, num_threads());
+  const std::size_t block = (count + num_blocks - 1) / num_blocks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_blocks);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t lo = begin + b * block;
+    const std::size_t hi = std::min(lo + block, end);
+    futures.push_back(submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  // Wait for every block before surfacing any failure: `body` must not be
+  // referenced by a still-running worker once we unwind.
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) f.get();  // rethrows the first block's exception
+}
+
+}  // namespace byom::framework

@@ -128,6 +128,28 @@ int GbdtClassifier::predict(const float* features) const {
   return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
 }
 
+void GbdtClassifier::scores_batch(const float* const* rows, std::size_t n,
+                                  double* out) const {
+  const auto k = static_cast<std::size_t>(num_classes_);
+  std::fill(out, out + n * k, 0.0);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    trees_[t].predict_many(rows, n, learning_rate_, out + t % k, k);
+  }
+}
+
+std::vector<int> GbdtClassifier::predict_batch(const float* const* rows,
+                                               std::size_t n) const {
+  const auto k = static_cast<std::size_t>(num_classes_);
+  std::vector<double> scores(n * k);
+  scores_batch(rows, n, scores.data());
+  std::vector<int> out(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* row = scores.data() + r * k;
+    out[r] = static_cast<int>(std::max_element(row, row + k) - row);
+  }
+  return out;
+}
+
 void GbdtClassifier::save(std::ostream& out) const {
   out << std::setprecision(std::numeric_limits<double>::max_digits10);
   out << "gbdt_classifier v1\n";

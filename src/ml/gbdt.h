@@ -45,6 +45,16 @@ class GbdtClassifier {
   std::vector<double> predict_proba(const float* features) const;
   int predict(const float* features) const;
 
+  // Batched inference over n feature rows (node-block traversal: trees
+  // outer, rows inner, so each tree's nodes stay cache-resident for the
+  // whole batch). Produces exactly the same classes as per-row predict().
+  // scores_batch fills out[r * num_classes() + k]; out must hold
+  // n * num_classes() doubles.
+  void scores_batch(const float* const* rows, std::size_t n,
+                    double* out) const;
+  std::vector<int> predict_batch(const float* const* rows,
+                                 std::size_t n) const;
+
   // Text (de)serialization; the format is stable and human-inspectable.
   void save(std::ostream& out) const;
   static GbdtClassifier load(std::istream& in);

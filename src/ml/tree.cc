@@ -141,6 +141,23 @@ double RegressionTree::predict(const float* features) const {
   return nodes_[i].value;
 }
 
+void RegressionTree::predict_many(const float* const* rows, std::size_t n,
+                                  double scale, double* out,
+                                  std::size_t out_stride) const {
+  if (nodes_.empty()) return;
+  const Node* nodes = nodes_.data();
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* features = rows[r];
+    std::size_t i = 0;
+    while (!nodes[i].leaf) {
+      const Node& node = nodes[i];
+      i = static_cast<std::size_t>(
+          features[node.feature] <= node.threshold ? node.left : node.right);
+    }
+    out[r * out_stride] += scale * nodes[i].value;
+  }
+}
+
 int RegressionTree::depth() const {
   // Iterative depth computation over the implicit tree structure.
   if (nodes_.empty()) return 0;

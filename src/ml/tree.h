@@ -32,6 +32,13 @@ class RegressionTree {
   // Predicts from raw (unbinned) feature values.
   double predict(const float* features) const;
 
+  // Node-block batch traversal: accumulates scale * predict(rows[i]) into
+  // out[i * out_stride] for all n rows. Walking the whole batch through one
+  // tree keeps its node array hot in cache, unlike per-row prediction that
+  // streams every tree's nodes for every row.
+  void predict_many(const float* const* rows, std::size_t n, double scale,
+                    double* out, std::size_t out_stride) const;
+
   std::size_t num_nodes() const { return nodes_.size(); }
   int depth() const;
 

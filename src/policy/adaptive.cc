@@ -115,4 +115,18 @@ AdaptiveCategoryPolicy::CategoryFn hash_category_fn(int num_categories) {
   };
 }
 
+AdaptiveCategoryPolicy::CategoryFn hinted_category_fn(
+    std::shared_ptr<const CategoryHints> hints,
+    AdaptiveCategoryPolicy::CategoryFn fallback) {
+  if (!hints) {
+    throw std::invalid_argument("hinted_category_fn: null hint table");
+  }
+  return [hints = std::move(hints),
+          fallback = std::move(fallback)](const trace::Job& job) {
+    const auto it = hints->find(job.job_id);
+    if (it != hints->end()) return it->second;
+    return fallback ? fallback(job) : 0;
+  };
+}
+
 }  // namespace byom::policy

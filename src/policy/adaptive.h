@@ -24,12 +24,19 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "policy/policy.h"
 
 namespace byom::policy {
+
+// Precomputed per-job category hints (job_id -> category), typically filled
+// by one CategoryModel::predict_batch pass so the online decision loop never
+// touches the model.
+using CategoryHints = std::unordered_map<std::uint64_t, int>;
 
 struct AdaptiveConfig {
   int num_categories = 15;           // N
@@ -98,5 +105,13 @@ class AdaptiveCategoryPolicy final : public PlacementPolicy {
 // Category provider for the Adaptive Hash ablation: a uniform hash of the
 // job key onto [1, N-1]. Exercises Algorithm 1 without any learned ranking.
 AdaptiveCategoryPolicy::CategoryFn hash_category_fn(int num_categories);
+
+// Category provider over precomputed hints: jobs found in `hints` use the
+// batched prediction; anything else (late arrivals, jobs from another
+// trace) falls back to `fallback`. This is how the batch inference API is
+// consumed by Algorithm 1 without changing its decision logic.
+AdaptiveCategoryPolicy::CategoryFn hinted_category_fn(
+    std::shared_ptr<const CategoryHints> hints,
+    AdaptiveCategoryPolicy::CategoryFn fallback);
 
 }  // namespace byom::policy

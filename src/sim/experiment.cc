@@ -26,8 +26,12 @@ const char* method_name(MethodId id) {
 }
 
 std::uint64_t quota_capacity(const trace::Trace& test, double quota_fraction) {
-  const auto peak = static_cast<double>(test.peak_concurrent_bytes());
-  return static_cast<std::uint64_t>(peak * quota_fraction);
+  return quota_capacity(test.peak_concurrent_bytes(), quota_fraction);
+}
+
+std::uint64_t quota_capacity(std::uint64_t peak_bytes, double quota_fraction) {
+  return static_cast<std::uint64_t>(static_cast<double>(peak_bytes) *
+                                    quota_fraction);
 }
 
 MethodFactory::MethodFactory(trace::Trace train, cost::Rates rates,
@@ -41,19 +45,62 @@ MethodFactory::MethodFactory(trace::Trace train, cost::Rates rates,
 }
 
 const core::CategoryModel& MethodFactory::category_model() const {
-  if (!model_.has_value()) {
-    model_ = core::CategoryModel::train(train_.jobs(), model_config_);
+  return *shared_category_model();
+}
+
+std::shared_ptr<const core::CategoryModel>
+MethodFactory::shared_category_model() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  if (!model_) {
+    model_ = std::make_shared<const core::CategoryModel>(
+        core::CategoryModel::train(train_.jobs(), model_config_));
   }
-  return *model_;
+  return model_;
 }
 
 void MethodFactory::set_category_model(core::CategoryModel model) {
-  model_ = std::move(model);
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  model_ = std::make_shared<const core::CategoryModel>(std::move(model));
+}
+
+void MethodFactory::warm(MethodId id) const {
+  switch (id) {
+    case MethodId::kAdaptiveRanking:
+    case MethodId::kTrueCategory:
+      shared_category_model();
+      break;
+    case MethodId::kMlBaseline: {
+      std::lock_guard<std::mutex> lock(model_mutex_);
+      if (!ml_baseline_) {
+        ml_baseline_ =
+            std::make_shared<const policy::LifetimeMlPolicy>(train_.jobs());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MethodFactory::set_predicted_hints(
+    std::shared_ptr<const policy::CategoryHints> hints) {
+  predicted_hints_ = std::move(hints);
+}
+
+void MethodFactory::set_true_hints(
+    std::shared_ptr<const policy::CategoryHints> hints) {
+  true_hints_ = std::move(hints);
 }
 
 std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
     MethodId id, const trace::Trace& test,
     std::uint64_t ssd_capacity_bytes) const {
+  return make(id, test, ssd_capacity_bytes, adaptive_config_);
+}
+
+std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
+    MethodId id, const trace::Trace& test, std::uint64_t ssd_capacity_bytes,
+    const policy::AdaptiveConfig& adaptive_config) const {
   switch (id) {
     case MethodId::kFirstFit:
       return std::make_unique<policy::FirstFitPolicy>();
@@ -61,31 +108,41 @@ std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
       return std::make_unique<policy::CacheSackPolicy>(train_.jobs(),
                                                        ssd_capacity_bytes);
     case MethodId::kMlBaseline:
-      return std::make_unique<policy::LifetimeMlPolicy>(train_.jobs());
+      // Copy the trained-once prototype: two GBDT regressors per sweep
+      // instead of two per cell.
+      warm(MethodId::kMlBaseline);
+      return std::make_unique<policy::LifetimeMlPolicy>(*ml_baseline_);
     case MethodId::kAdaptiveHash:
       return std::make_unique<policy::AdaptiveCategoryPolicy>(
           "AdaptiveHash",
-          policy::hash_category_fn(adaptive_config_.num_categories),
-          adaptive_config_);
+          policy::hash_category_fn(adaptive_config.num_categories),
+          adaptive_config);
     case MethodId::kAdaptiveRanking: {
-      // Copy the trained model into the closure: the policy must stay valid
-      // independently of this factory's lifetime.
-      auto model = std::make_shared<core::CategoryModel>(category_model());
-      return std::make_unique<policy::AdaptiveCategoryPolicy>(
-          "AdaptiveRanking",
+      // Share the trained model with the closure: the policy stays valid
+      // independently of this factory's lifetime, without copying the
+      // forest per cell.
+      auto model = shared_category_model();
+      policy::AdaptiveCategoryPolicy::CategoryFn fn =
           [model](const trace::Job& job) {
             return model->predict_category(job);
-          },
-          adaptive_config_);
+          };
+      if (predicted_hints_) {
+        fn = policy::hinted_category_fn(predicted_hints_, std::move(fn));
+      }
+      return std::make_unique<policy::AdaptiveCategoryPolicy>(
+          "AdaptiveRanking", std::move(fn), adaptive_config);
     }
     case MethodId::kTrueCategory: {
-      auto model = std::make_shared<core::CategoryModel>(category_model());
-      return std::make_unique<policy::AdaptiveCategoryPolicy>(
-          "TrueCategory",
+      auto model = shared_category_model();
+      policy::AdaptiveCategoryPolicy::CategoryFn fn =
           [model](const trace::Job& job) {
             return model->true_category(job);
-          },
-          adaptive_config_);
+          };
+      if (true_hints_) {
+        fn = policy::hinted_category_fn(true_hints_, std::move(fn));
+      }
+      return std::make_unique<policy::AdaptiveCategoryPolicy>(
+          "TrueCategory", std::move(fn), adaptive_config);
     }
     case MethodId::kOracleTco: {
       const auto solution = oracle::solve_greedy(

@@ -10,13 +10,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/category_model.h"
 #include "cost/cost_model.h"
 #include "policy/adaptive.h"
+#include "policy/lifetime_ml.h"
 #include "policy/policy.h"
 #include "sim/simulator.h"
 #include "trace/generator.h"
@@ -40,6 +41,9 @@ const char* method_name(MethodId id);
 // Capacity for a quota expressed as a fraction of the test trace's peak
 // concurrent usage (paper: "SSD Quota: Portion of the Peak SSD Usage").
 std::uint64_t quota_capacity(const trace::Trace& test, double quota_fraction);
+// Same, over a precomputed peak (the parallel runner caches the peak per
+// cluster; both paths share this arithmetic so they stay bit-identical).
+std::uint64_t quota_capacity(std::uint64_t peak_bytes, double quota_fraction);
 
 // Trains/caches per-cluster artifacts and manufactures policies.
 class MethodFactory {
@@ -53,9 +57,23 @@ class MethodFactory {
   std::unique_ptr<policy::PlacementPolicy> make(
       MethodId id, const trace::Trace& test,
       std::uint64_t ssd_capacity_bytes) const;
+  // Same, with an explicit Algorithm-1 config (hyperparameter sweeps build
+  // many policies from one factory without mutating shared state).
+  std::unique_ptr<policy::PlacementPolicy> make(
+      MethodId id, const trace::Trace& test, std::uint64_t ssd_capacity_bytes,
+      const policy::AdaptiveConfig& adaptive) const;
 
-  // Lazily trained category model (shared across makes).
+  // Lazily trained category model (shared across makes; thread-safe, so
+  // parallel experiment cells can share one factory).
   const core::CategoryModel& category_model() const;
+  // Same model as a shared handle: policies built by make() hold this
+  // pointer instead of copying the forest per cell.
+  std::shared_ptr<const core::CategoryModel> shared_category_model() const;
+
+  // Pre-trains whatever `id` needs (category model, lifetime baseline) so
+  // parallel cells share finished artifacts instead of serializing on the
+  // training lock mid-run.
+  void warm(MethodId id) const;
   // Swap in an externally trained model (cross-cluster generalization
   // studies train on cluster A and deploy on cluster B).
   void set_category_model(core::CategoryModel model);
@@ -69,12 +87,25 @@ class MethodFactory {
     adaptive_config_ = config;
   }
 
+  // Precomputed test-trace categories (one CategoryModel::predict_batch /
+  // true-label pass shared by every cell of a sweep). When set,
+  // AdaptiveRanking / TrueCategory policies consume the hints and only fall
+  // back to per-job inference for jobs outside the table.
+  void set_predicted_hints(std::shared_ptr<const policy::CategoryHints> hints);
+  void set_true_hints(std::shared_ptr<const policy::CategoryHints> hints);
+
  private:
   trace::Trace train_;
   cost::CostModel cost_model_;
   core::CategoryModelConfig model_config_;
   policy::AdaptiveConfig adaptive_config_;
-  mutable std::optional<core::CategoryModel> model_;
+  std::shared_ptr<const policy::CategoryHints> predicted_hints_;
+  std::shared_ptr<const policy::CategoryHints> true_hints_;
+  mutable std::mutex model_mutex_;
+  mutable std::shared_ptr<const core::CategoryModel> model_;
+  // Trained-once prototype; make() hands out cheap copies (the policy is
+  // stateless after construction but each simulation owns its instance).
+  mutable std::shared_ptr<const policy::LifetimeMlPolicy> ml_baseline_;
 };
 
 // Convenience: build policy for `id`, simulate `test` under the quota, and

@@ -187,6 +187,33 @@ TEST_F(CategoryModelTest, FileRoundTrip) {
   std::filesystem::remove(path);
 }
 
+TEST_F(CategoryModelTest, BatchPredictionMatchesPerJob) {
+  const auto t = cluster_trace(0, 407);
+  const auto& jobs = t.jobs();
+  const auto batched = model().predict_categories(jobs);
+  ASSERT_EQ(batched.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(batched[i], model().predict_category(jobs[i]));
+  }
+}
+
+TEST_F(CategoryModelTest, PredictBatchOverFeatureRows) {
+  const auto t = cluster_trace(0, 408, 6, 2.0);
+  const auto& jobs = t.jobs();
+  std::vector<std::vector<float>> features;
+  std::vector<FeatureRow> rows;
+  for (const auto& j : jobs) {
+    features.push_back(model().extractor().extract(j));
+  }
+  for (const auto& f : features) rows.push_back(FeatureRow{f.data()});
+  const auto batched =
+      model().predict_batch(common::Span<const FeatureRow>(rows));
+  ASSERT_EQ(batched.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(batched[i], model().predict_category(jobs[i]));
+  }
+}
+
 TEST(CategoryModel, EmptyTrainingThrows) {
   EXPECT_THROW(CategoryModel::train({}, small_model_config()),
                std::invalid_argument);
@@ -263,6 +290,54 @@ TEST(ByomPolicy, MissingModelFallsBackToHash) {
   view.ssd_capacity_bytes = 100 * kGiB;
   policy->decide(j, view);
   EXPECT_EQ(policy->last_category(), policy::hash_category_fn(15)(j));
+}
+
+TEST(PrecomputeCategories, MatchesPerJobRegistryLookup) {
+  const auto t = cluster_trace(0, 409);
+  const auto split = trace::split_train_test(t);
+  auto model = std::make_shared<CategoryModel>(
+      CategoryModel::train(split.train.jobs(), small_model_config()));
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->set_default_model(model);
+  const auto& jobs = split.test.jobs();
+  const auto hints =
+      precompute_categories(*registry, jobs, model->num_categories());
+  ASSERT_EQ(hints.size(), jobs.size());
+  for (const auto& j : jobs) {
+    const auto it = hints.find(j.job_id);
+    ASSERT_NE(it, hints.end());
+    EXPECT_EQ(it->second, model->predict_category(j));
+  }
+}
+
+TEST(PrecomputeCategories, ModellessJobsGetHashFallback) {
+  ModelRegistry registry;  // no models at all
+  trace::Job j;
+  j.job_id = 99;
+  j.job_key = "some/job";
+  const auto hints = precompute_categories(registry, {j}, 15);
+  ASSERT_EQ(hints.size(), 1u);
+  EXPECT_EQ(hints.at(99), policy::hash_category_fn(15)(j));
+}
+
+TEST(ByomPolicyBatched, MatchesUnbatchedDecisions) {
+  const auto t = cluster_trace(0, 410);
+  const auto split = trace::split_train_test(t);
+  auto model = std::make_shared<CategoryModel>(
+      CategoryModel::train(split.train.jobs(), small_model_config()));
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->set_default_model(model);
+  policy::AdaptiveConfig cfg;
+  cfg.num_categories = model->num_categories();
+  auto batched = make_byom_policy_batched(registry, split.test.jobs(), cfg);
+  auto unbatched = make_byom_policy(registry, cfg);
+  policy::StorageView view;
+  view.ssd_capacity_bytes = 100 * kGiB;
+  for (const auto& j : split.test.jobs()) {
+    batched->decide(j, view);
+    unbatched->decide(j, view);
+    EXPECT_EQ(batched->last_category(), unbatched->last_category());
+  }
 }
 
 TEST(TrainByomModel, WrapperMatchesDirectTraining) {

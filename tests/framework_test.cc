@@ -1,9 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
 #include "common/units.h"
 #include "framework/dataflow.h"
 #include "framework/pipeline_runner.h"
 #include "framework/shuffle.h"
+#include "framework/thread_pool.h"
+#include "sim/experiment_runner.h"
+#include "trace/generator.h"
 
 namespace byom::framework {
 namespace {
@@ -176,6 +184,131 @@ TEST(PipelineRunner, ResourcesComeFromShufflePlan) {
     EXPECT_GT(j.resources.bucket_sizing_num_workers, 0);
     EXPECT_GT(j.resources.num_buckets, 0);
     EXPECT_GT(j.resources.records_written, 0);
+  }
+}
+
+// -------------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  ThreadPool pool(2);
+  auto doubled = pool.submit([] { return 21 * 2; });
+  auto text = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_EQ(text.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto failing = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<int> hits(257, 0);
+  pool.parallel_for(0, hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 16,
+                                 [](std::size_t i) {
+                                   if (i == 9) {
+                                     throw std::invalid_argument("bad index");
+                                   }
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, PoolSizeOneMatchesSerialExecution) {
+  // With one worker, parallel_for is a single in-order block: the observed
+  // index sequence must equal the serial loop's.
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(0, 32,
+                    [&order](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(32);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+// ------------------------------------------------------- experiment runner
+
+TEST(ExperimentRunner, CellSeedsAreDeterministicAndDistinct) {
+  const auto a = sim::derive_cell_seed(1, 0, sim::MethodId::kFirstFit, 0, 0);
+  EXPECT_EQ(a, sim::derive_cell_seed(1, 0, sim::MethodId::kFirstFit, 0, 0));
+  EXPECT_NE(a, sim::derive_cell_seed(2, 0, sim::MethodId::kFirstFit, 0, 0));
+  EXPECT_NE(a, sim::derive_cell_seed(1, 1, sim::MethodId::kFirstFit, 0, 0));
+  EXPECT_NE(a, sim::derive_cell_seed(1, 0, sim::MethodId::kOracleTco, 0, 0));
+  EXPECT_NE(a, sim::derive_cell_seed(1, 0, sim::MethodId::kFirstFit, 1, 0));
+  EXPECT_NE(a, sim::derive_cell_seed(1, 0, sim::MethodId::kFirstFit, 0, 1));
+}
+
+TEST(ExperimentRunner, ParallelGridMatchesSerialBitExactly) {
+  // Small cluster: enough jobs that sharding mistakes would show, small
+  // enough to keep the suite fast.
+  trace::GeneratorConfig cfg = trace::canonical_cluster_config(0, 4242);
+  cfg.num_pipelines = 8;
+  cfg.duration = 4.0 * 86400.0;
+  const auto split = trace::split_train_test(trace::generate_cluster_trace(cfg));
+
+  core::CategoryModelConfig mc;
+  mc.num_categories = 6;
+  mc.gbdt.num_rounds = 5;
+  sim::MethodFactory factory(split.train, cost::Rates{}, mc);
+
+  sim::ExperimentRunner runner(4);
+  const auto cluster = runner.add_cluster(&factory, &split.test);
+  const auto cells = runner.make_grid(
+      cluster,
+      {sim::MethodId::kFirstFit, sim::MethodId::kAdaptiveHash,
+       sim::MethodId::kAdaptiveRanking, sim::MethodId::kOracleTco},
+      {0.02, 0.1, 0.5});
+
+  const auto parallel = runner.run(cells);
+  const auto serial = runner.run_serial(cells);
+  ASSERT_EQ(parallel.size(), cells.size());
+  ASSERT_EQ(serial.size(), cells.size());
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    // Results must be bit-identical to the serial path, and must also match
+    // the pre-runner entry point run_method().
+    const auto reference = sim::run_method(factory, cells[i].method,
+                                           split.test,
+                                           parallel[i].capacity_bytes);
+    for (const auto* r : {&parallel[i].result, &serial[i].result}) {
+      EXPECT_EQ(r->tco_actual, reference.tco_actual);
+      EXPECT_EQ(r->tco_all_hdd, reference.tco_all_hdd);
+      EXPECT_EQ(r->tcio_actual_seconds, reference.tcio_actual_seconds);
+      EXPECT_EQ(r->tcio_all_hdd_seconds, reference.tcio_all_hdd_seconds);
+      EXPECT_EQ(r->jobs_total, reference.jobs_total);
+      EXPECT_EQ(r->jobs_scheduled_ssd, reference.jobs_scheduled_ssd);
+      EXPECT_EQ(r->peak_ssd_used_bytes, reference.peak_ssd_used_bytes);
+    }
+    EXPECT_EQ(parallel[i].cell.method, cells[i].method);
+    EXPECT_EQ(parallel[i].cell.quota, cells[i].quota);
+    EXPECT_EQ(parallel[i].cell.seed, cells[i].seed);
   }
 }
 

@@ -261,6 +261,32 @@ TEST(GbdtClassifier, ProbabilitiesSumToOne) {
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
+TEST(GbdtClassifier, BatchPredictionMatchesPerRow) {
+  std::vector<int> labels;
+  const auto data = three_class_dataset(labels, 1500, 21);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 15;
+  model.train(data, labels, 3, params);
+
+  std::vector<const float*> rows(data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) rows[r] = data.row(r);
+
+  // Classes from the node-block batch traversal must be identical to the
+  // per-row path, and the raw scores bit-identical.
+  const auto batched = model.predict_batch(rows.data(), rows.size());
+  std::vector<double> batch_scores(rows.size() * 3);
+  model.scores_batch(rows.data(), rows.size(), batch_scores.data());
+  ASSERT_EQ(batched.size(), rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(batched[r], model.predict(rows[r]));
+    const auto expected = model.scores(rows[r]);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_DOUBLE_EQ(batch_scores[r * 3 + k], expected[k]);
+    }
+  }
+}
+
 TEST(GbdtClassifier, RespectsTreeBudget) {
   std::vector<int> labels;
   const auto data = three_class_dataset(labels, 400, 16);
