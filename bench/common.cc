@@ -58,15 +58,15 @@ PrecomputedCategories::PrecomputedCategories(const core::CategoryModel& model,
   hints_ = std::move(map);
 }
 
-policy::AdaptiveCategoryPolicy::CategoryFn PrecomputedCategories::fn() const {
-  return policy::hinted_category_fn(hints_, nullptr);
+core::CategoryProviderPtr PrecomputedCategories::provider() const {
+  return core::make_precomputed_provider(hints_, "precomputed");
 }
 
 std::unique_ptr<policy::AdaptiveCategoryPolicy> make_precomputed_ranking(
     const PrecomputedCategories& pre, const policy::AdaptiveConfig& config,
     const std::string& name) {
-  return std::make_unique<policy::AdaptiveCategoryPolicy>(name, pre.fn(),
-                                                          config);
+  return std::make_unique<policy::AdaptiveCategoryPolicy>(
+      name, pre.provider(), config);
 }
 
 sim::SimResult run_policy(policy::PlacementPolicy& policy,
@@ -172,13 +172,13 @@ MixedDeploymentResult MixedDeployment::run_adaptive_ranking(
       core::CategoryModel::train(train, bench_model_config(15)));
   auto registry = std::make_shared<core::ModelRegistry>();
   registry->set_default_model(model);
-  policy::AdaptiveConfig cfg;
-  cfg.num_categories = model->num_categories();
+  core::ByomPolicyOptions options;
+  options.adaptive.num_categories = model->num_categories();
   // One batched inference pass over the replayed jobs; the cache server's
   // per-arrival decisions then consume precomputed hints.
-  storage::CacheServer server(cap,
-                              core::make_byom_policy_batched(registry, test,
-                                                             cfg));
+  options.hints = core::HintSource::kPrecomputed;
+  options.precompute_jobs = &test;
+  storage::CacheServer server(cap, core::make_byom_policy(registry, options));
   for (const auto& j : test) server.submit(j);
   return measure(server);
 }

@@ -43,7 +43,8 @@ class PrecomputedCategories {
   PrecomputedCategories(const core::CategoryModel& model,
                         const trace::Trace& test, bool use_true_category);
 
-  policy::AdaptiveCategoryPolicy::CategoryFn fn() const;
+  // The hint table as a CategoryProvider (declines outside the table).
+  core::CategoryProviderPtr provider() const;
   // Hint table for MethodFactory::set_predicted_hints / set_true_hints.
   std::shared_ptr<const policy::CategoryHints> hints() const {
     return hints_;

@@ -117,8 +117,12 @@ int main() {
                             cap);
     }));
     ar_runs.push_back(pool.submit([&test, registry, acfg, cap] {
-      return run_deployment(
-          test, core::make_byom_policy_batched(registry, test, acfg), cap);
+      core::ByomPolicyOptions options;
+      options.adaptive = acfg;
+      options.hints = core::HintSource::kPrecomputed;
+      options.precompute_jobs = &test;
+      return run_deployment(test, core::make_byom_policy(registry, options),
+                            cap);
     }));
   }
   for (int qi = 0; qi < 2; ++qi) {

@@ -13,6 +13,7 @@
 #include "features/tokenizer.h"
 #include "oracle/greedy_oracle.h"
 #include "policy/first_fit.h"
+#include "serving/placement_service.h"
 #include "sim/experiment_runner.h"
 #include "storage/dram_cache.h"
 
@@ -199,6 +200,43 @@ void BM_InferenceBatch(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * jobs.size()));
 }
 BENCHMARK(BM_InferenceBatch)->Unit(benchmark::kMillisecond);
+
+// ---- serving loop: served-hint round trip vs batcher max_batch ----------
+//
+// Full enqueue -> queue -> batcher -> predict_batch -> publish -> lookup
+// cycle per job, in deterministic mode (no thread jitter): max_batch=1
+// degenerates to per-job inference through the serving machinery; larger
+// batches amortize the forest traversal, reporting how much of the
+// predict_batch speedup the online loop retains.
+void BM_ServedHintLatency(benchmark::State& state) {
+  auto registry = std::make_shared<core::ModelRegistry>();
+  registry->set_default_model(
+      fixture().cluster.factory->shared_category_model());
+  const auto& jobs = inference_jobs();
+  serving::PlacementServiceConfig config;
+  config.num_threads = 0;  // deterministic: lookups drain the queue
+  config.queue_capacity = jobs.size();
+  config.max_batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    serving::PlacementService service(registry, config);
+    service.enqueue_all(jobs);
+    int acc = 0;
+    for (const auto& job : jobs) {
+      acc += service.wait_for(job.job_id).value_or(0);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * jobs.size()));
+  state.counters["max_batch"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ServedHintLatency)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -36,12 +36,14 @@ int main() {
               model->classifier().num_trees(),
               model->top1_accuracy(test.jobs()));
 
-  // 3. Storage layer: adaptive category selection over the model's hints.
+  // 3. Storage layer: adaptive category selection over the model's hints,
+  //    consumed through the CategoryProvider API (sync per-job inference
+  //    here; see log_pipeline_tiering for the async serving loop).
   auto registry = std::make_shared<core::ModelRegistry>();
   registry->set_default_model(model);
-  policy::AdaptiveConfig adaptive;
-  adaptive.num_categories = model->num_categories();
-  auto byom_policy = core::make_byom_policy(registry, adaptive);
+  core::ByomPolicyOptions options;
+  options.adaptive.num_categories = model->num_categories();
+  auto byom_policy = core::make_byom_policy(registry, options);
 
   // 4 + 5. Replay the test week at a tight SSD quota (1% of peak usage).
   sim::SimConfig sim_config;

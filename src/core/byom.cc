@@ -1,6 +1,7 @@
 #include "core/byom.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -22,35 +23,97 @@ const CategoryModel* ModelRegistry::lookup(const trace::Job& job) const {
   return default_model_.get();
 }
 
+namespace {
+
+class RegistryProvider final : public CategoryProvider {
+ public:
+  explicit RegistryProvider(std::shared_ptr<const ModelRegistry> registry)
+      : registry_(std::move(registry)) {
+    if (!registry_) {
+      throw std::invalid_argument("make_registry_provider: null registry");
+    }
+  }
+
+  std::string name() const override { return "registry"; }
+
+  std::optional<int> category(const trace::Job& job) override {
+    if (const CategoryModel* model = registry_->lookup(job)) {
+      return model->predict_category(job);
+    }
+    return std::nullopt;  // no model for this workload: consumer falls back
+  }
+
+ private:
+  std::shared_ptr<const ModelRegistry> registry_;
+};
+
+}  // namespace
+
+CategoryProviderPtr make_registry_provider(
+    std::shared_ptr<const ModelRegistry> registry) {
+  return std::make_shared<RegistryProvider>(std::move(registry));
+}
+
+std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
+    std::shared_ptr<const ModelRegistry> registry,
+    const ByomPolicyOptions& options) {
+  if (!registry) {
+    throw std::invalid_argument("make_byom_policy: null registry");
+  }
+  auto sync = make_registry_provider(registry);
+  CategoryProviderPtr provider;
+  switch (options.hints) {
+    case HintSource::kSync:
+      provider = std::move(sync);
+      break;
+    case HintSource::kPrecomputed: {
+      if (options.precompute_jobs == nullptr) {
+        throw std::invalid_argument(
+            "make_byom_policy: kPrecomputed requires precompute_jobs");
+      }
+      auto hints = std::make_shared<const CategoryHints>(precompute_categories(
+          *registry, *options.precompute_jobs,
+          options.adaptive.num_categories));
+      provider = make_fallback_chain(
+          {make_precomputed_provider(std::move(hints)), std::move(sync)});
+      break;
+    }
+    case HintSource::kCustom: {
+      if (!options.custom_provider) {
+        throw std::invalid_argument(
+            "make_byom_policy: kCustom requires custom_provider");
+      }
+      provider = make_fallback_chain(
+          {options.custom_provider, std::move(sync)});
+      break;
+    }
+  }
+  return std::make_unique<policy::AdaptiveCategoryPolicy>(
+      options.name, std::move(provider), options.adaptive);
+}
+
 std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
     std::shared_ptr<const ModelRegistry> registry,
     const policy::AdaptiveConfig& config) {
-  auto fallback = policy::hash_category_fn(config.num_categories);
-  return std::make_unique<policy::AdaptiveCategoryPolicy>(
-      "BYOM",
-      [registry = std::move(registry), fallback](const trace::Job& job) {
-        if (const CategoryModel* model = registry->lookup(job)) {
-          return model->predict_category(job);
-        }
-        return fallback(job);
-      },
-      config);
+  ByomPolicyOptions options;
+  options.adaptive = config;
+  return make_byom_policy(std::move(registry), options);
 }
 
-policy::CategoryHints precompute_categories(
-    const ModelRegistry& registry, const std::vector<trace::Job>& jobs,
-    int fallback_num_categories) {
-  policy::CategoryHints hints;
+CategoryHints precompute_categories(const ModelRegistry& registry,
+                                    const std::vector<trace::Job>& jobs,
+                                    int fallback_num_categories) {
+  CategoryHints hints;
   hints.reserve(jobs.size());
 
   // Group job indices by responsible model so each model sees one batch.
   std::unordered_map<const CategoryModel*, std::vector<std::size_t>> groups;
-  const auto fallback = policy::hash_category_fn(fallback_num_categories);
+  const auto fallback = make_hash_provider(fallback_num_categories);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (const CategoryModel* model = registry.lookup(jobs[i])) {
       groups[model].push_back(i);
     } else {
-      hints.emplace(jobs[i].job_id, fallback(jobs[i]));
+      hints.emplace(jobs[i].job_id, fallback->category(jobs[i]).value_or(0));
     }
   }
   for (const auto& [model, indices] : groups) {
@@ -76,21 +139,11 @@ std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy_batched(
     std::shared_ptr<const ModelRegistry> registry,
     const std::vector<trace::Job>& jobs,
     const policy::AdaptiveConfig& config) {
-  auto hints = std::make_shared<const policy::CategoryHints>(
-      precompute_categories(*registry, jobs, config.num_categories));
-  auto fallback = policy::hash_category_fn(config.num_categories);
-  return std::make_unique<policy::AdaptiveCategoryPolicy>(
-      "BYOM",
-      policy::hinted_category_fn(
-          std::move(hints),
-          [registry = std::move(registry),
-           fallback = std::move(fallback)](const trace::Job& job) {
-            if (const CategoryModel* model = registry->lookup(job)) {
-              return model->predict_category(job);
-            }
-            return fallback(job);
-          }),
-      config);
+  ByomPolicyOptions options;
+  options.adaptive = config;
+  options.hints = HintSource::kPrecomputed;
+  options.precompute_jobs = &jobs;
+  return make_byom_policy(std::move(registry), options);
 }
 
 CategoryModel train_byom_model(const std::vector<trace::Job>& history,

@@ -7,17 +7,34 @@
 //
 // ModelRegistry holds one model per workload (keyed by pipeline name) plus
 // an optional cluster-default model. make_byom_policy() wires a registry
-// into the Algorithm-1 policy; workloads without any model fall back to a
-// hash category, so a missing/broken model degrades one workload instead of
-// the whole cluster (paper section 2.3: "a model failure only affects one
+// into the Algorithm-1 policy through the CategoryProvider API
+// (core/category_provider.h): the registry provider declines for workloads
+// without any model, and the policy degrades those decisions to a hash
+// category — a missing/broken model degrades one workload instead of the
+// whole cluster (paper section 2.3: "a model failure only affects one
 // workload").
+//
+// Provider selection is a ByomPolicyOptions knob:
+//   kSync        per-job synchronous registry inference (default)
+//   kPrecomputed one batched predict_batch pass over known upcoming jobs,
+//                consumed as a hint table (offline sweeps)
+//   kCustom      caller-supplied provider placed ahead of the sync path,
+//                e.g. serving::make_served_provider() for the async
+//                request-queue -> batcher -> model serving loop
+//
+// DEPRECATED: the make_byom_policy(registry, AdaptiveConfig) and
+// make_byom_policy_batched(...) overloads are thin shims over
+// make_byom_policy(registry, ByomPolicyOptions) kept for source
+// compatibility; new code should pass ByomPolicyOptions.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/category_model.h"
+#include "core/category_provider.h"
 #include "policy/adaptive.h"
 
 namespace byom::core {
@@ -46,22 +63,51 @@ class ModelRegistry {
   std::shared_ptr<const CategoryModel> default_model_;
 };
 
-// Builds the storage-layer policy for a registry of application models.
-// Jobs whose workload has no model use a hash category (robust fallback).
+// Synchronous per-job registry inference as a provider; declines for jobs
+// whose workload has no model (compose with a fallback, or let the policy's
+// hash fallback take over).
+CategoryProviderPtr make_registry_provider(
+    std::shared_ptr<const ModelRegistry> registry);
+
+// Which provider sits in front of the policy (see header comment).
+enum class HintSource { kSync, kPrecomputed, kCustom };
+
+struct ByomPolicyOptions {
+  policy::AdaptiveConfig adaptive;
+  HintSource hints = HintSource::kSync;
+  // kPrecomputed: the known upcoming jobs, pre-categorized in one batched
+  // pass at construction time (borrowed only for the make_byom_policy
+  // call). Jobs outside the set still take the sync per-job path.
+  const std::vector<trace::Job>* precompute_jobs = nullptr;
+  // kCustom: consulted ahead of the sync registry path (e.g. a served or
+  // noisy provider); when it declines, the sync path answers.
+  CategoryProviderPtr custom_provider;
+  std::string name = "BYOM";
+};
+
+// The one constructor: builds the storage-layer Algorithm-1 policy for a
+// registry of application models, with the provider chain selected by
+// `options`.
 std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
     std::shared_ptr<const ModelRegistry> registry,
-    const policy::AdaptiveConfig& config = {});
+    const ByomPolicyOptions& options = {});
+
+// DEPRECATED shim: make_byom_policy with default (sync) hints.
+std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
+    std::shared_ptr<const ModelRegistry> registry,
+    const policy::AdaptiveConfig& config);
 
 // Batched hint precomputation: groups `jobs` by their responsible model and
 // runs one CategoryModel::predict_batch per model (instead of one tree-walk
 // per job). Jobs with no model get the hash fallback so the resulting table
 // covers every job. Categories are identical to per-job registry lookup.
-policy::CategoryHints precompute_categories(
-    const ModelRegistry& registry, const std::vector<trace::Job>& jobs,
-    int fallback_num_categories);
+// This is also the batch-execution path of serving::PlacementService, which
+// is what makes served hints bit-identical to offline-batched ones.
+CategoryHints precompute_categories(const ModelRegistry& registry,
+                                    const std::vector<trace::Job>& jobs,
+                                    int fallback_num_categories);
 
-// make_byom_policy with the known upcoming jobs pre-categorized in one
-// batched pass; jobs outside `jobs` still take the per-job lookup path.
+// DEPRECATED shim: make_byom_policy with HintSource::kPrecomputed.
 std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy_batched(
     std::shared_ptr<const ModelRegistry> registry,
     const std::vector<trace::Job>& jobs,

@@ -1,0 +1,97 @@
+// CategoryProvider — the single seam between category *production* (models,
+// precomputed hint tables, served inference, hashes) and category
+// *consumption* (Algorithm 1 and anything else that ranks jobs).
+//
+// The paper's cross-layer contract deliberately decouples the two sides:
+// the storage layer consumes whatever hint is ready at decision time and
+// falls back gracefully when none is (section 2.3, section 6 dynamics).
+// A provider therefore returns std::optional<int>: a category in
+// [0, num_categories) when it has an opinion, std::nullopt when it
+// declines (no model, hint not computed yet, deadline missed). Composition
+// is explicit via make_fallback_chain(); the terminal robust fallback is
+// make_hash_provider(), which never declines.
+//
+// Provider hierarchy:
+//   make_hash_provider         uniform hash onto [1, N-1]; never declines
+//   make_model_provider        synchronous CategoryModel inference
+//                              (predicted or ground-truth labels)
+//   make_precomputed_provider  lookup into a batched-inference hint table
+//   make_function_provider     adapter for ad-hoc closures (and the
+//                              deprecated CategoryFn shims)
+//   make_fallback_chain        first provider with an opinion wins
+//   make_noisy_provider        decorator flipping a seeded fraction of
+//                              hints (noisy-hint sensitivity studies)
+//   serving::make_served_provider  async hints from a PlacementService
+//                              (see serving/placement_service.h)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/job.h"
+
+namespace byom::core {
+
+class CategoryModel;  // core/category_model.h
+
+// Precomputed per-job category hints (job_id -> category), typically filled
+// by one CategoryModel::predict_batch pass so the online decision loop never
+// touches the model.
+using CategoryHints = std::unordered_map<std::uint64_t, int>;
+
+class CategoryProvider {
+ public:
+  virtual ~CategoryProvider() = default;
+
+  virtual std::string name() const = 0;
+
+  // The category hint for `job`, or std::nullopt when this provider has no
+  // opinion (consumer falls back). Implementations must be safe to call
+  // concurrently from multiple simulation cells unless documented otherwise.
+  virtual std::optional<int> category(const trace::Job& job) = 0;
+};
+
+using CategoryProviderPtr = std::shared_ptr<CategoryProvider>;
+
+// Uniform hash of the job key onto [1, N-1] (the Adaptive Hash ablation and
+// the terminal robust fallback). Never declines.
+CategoryProviderPtr make_hash_provider(int num_categories);
+
+// Synchronous model-backed inference. With `use_true_category` the provider
+// returns ground-truth labels instead (the Figure 11 perfect-model study).
+CategoryProviderPtr make_model_provider(
+    std::shared_ptr<const CategoryModel> model, bool use_true_category = false);
+
+// Lookup into a precomputed hint table; declines on jobs outside the table
+// (late arrivals, jobs from another trace).
+CategoryProviderPtr make_precomputed_provider(
+    std::shared_ptr<const CategoryHints> hints, std::string name = "hints");
+
+// Adapter for ad-hoc closures. The function may decline by returning
+// std::nullopt.
+CategoryProviderPtr make_function_provider(
+    std::string name,
+    std::function<std::optional<int>(const trace::Job&)> fn);
+
+// Composes providers: the first one returning a category wins; declines only
+// when every link declines. An empty chain always declines.
+CategoryProviderPtr make_fallback_chain(
+    std::vector<CategoryProviderPtr> chain);
+
+// Decorator that flips a seeded fraction of the inner provider's hints to a
+// different uniformly-chosen category. The flip decision and replacement
+// depend only on (seed, job_id), so results are deterministic regardless of
+// call order or thread count — parallel sweeps stay bit-reproducible.
+// Declined hints pass through untouched (noise models a wrong hint, not a
+// missing one).
+CategoryProviderPtr make_noisy_provider(CategoryProviderPtr inner,
+                                        double flip_fraction,
+                                        std::uint64_t seed,
+                                        int num_categories);
+
+}  // namespace byom::core

@@ -4,17 +4,18 @@
 #include <stdexcept>
 #include <utility>
 
-#include "common/rng.h"
-
 namespace byom::policy {
 
-AdaptiveCategoryPolicy::AdaptiveCategoryPolicy(std::string name,
-                                               CategoryFn category_fn,
-                                               const AdaptiveConfig& config)
+AdaptiveCategoryPolicy::AdaptiveCategoryPolicy(
+    std::string name, core::CategoryProviderPtr provider,
+    const AdaptiveConfig& config)
     : name_(std::move(name)),
-      category_fn_(std::move(category_fn)),
+      provider_(std::move(provider)),
       config_(config),
       act_(config.initial_act) {
+  if (!provider_) {
+    throw std::invalid_argument("AdaptiveCategoryPolicy: null provider");
+  }
   if (config_.num_categories < 2) {
     throw std::invalid_argument("AdaptiveCategoryPolicy: N >= 2 required");
   }
@@ -23,7 +24,25 @@ AdaptiveCategoryPolicy::AdaptiveCategoryPolicy(std::string name,
         "AdaptiveCategoryPolicy: tolerance range inverted");
   }
   act_ = std::clamp(act_, 1, config_.num_categories - 1);
+  fallback_ = core::make_hash_provider(config_.num_categories);
 }
+
+AdaptiveCategoryPolicy::AdaptiveCategoryPolicy(std::string name,
+                                               CategoryFn category_fn,
+                                               const AdaptiveConfig& config)
+    : AdaptiveCategoryPolicy(
+          std::move(name),
+          [&]() -> core::CategoryProviderPtr {
+            if (!category_fn) {
+              throw std::invalid_argument(
+                  "AdaptiveCategoryPolicy: null category function");
+            }
+            return core::make_function_provider(
+                "fn", [fn = std::move(category_fn)](const trace::Job& job) {
+                  return std::optional<int>(fn(job));
+                });
+          }(),
+          config) {}
 
 double AdaptiveCategoryPolicy::spillover_percentage(double t) const {
   // P(X, t) = sum_i SPILLOVER_TCIO(x_i, t) / sum_i DEV_i * TCIO_HDD_i(t),
@@ -86,8 +105,15 @@ Device AdaptiveCategoryPolicy::decide(const trace::Job& job,
     decision_log_.push_back({t, act_, spill});
   }
 
+  // Consume whatever hint is ready; a declined lookup degrades this one
+  // decision to the hash category instead of blocking on inference.
+  auto hint = provider_->category(job);
+  if (!hint) {
+    ++provider_fallbacks_;
+    hint = fallback_->category(job);
+  }
   const int category =
-      std::clamp(category_fn_(job), 0, config_.num_categories - 1);
+      std::clamp(hint.value_or(0), 0, config_.num_categories - 1);
   last_category_ = category;
   return category >= act_ ? Device::kSsd : Device::kHdd;
 }
@@ -105,26 +131,18 @@ void AdaptiveCategoryPolicy::on_placed(const trace::Job& job,
 }
 
 AdaptiveCategoryPolicy::CategoryFn hash_category_fn(int num_categories) {
-  if (num_categories < 2) {
-    throw std::invalid_argument("hash_category_fn: N >= 2 required");
-  }
-  return [num_categories](const trace::Job& job) {
-    const std::uint64_t h = common::fnv1a(job.job_key);
-    return 1 + static_cast<int>(
-                   h % static_cast<std::uint64_t>(num_categories - 1));
+  auto provider = core::make_hash_provider(num_categories);
+  return [provider](const trace::Job& job) {
+    return provider->category(job).value_or(0);
   };
 }
 
 AdaptiveCategoryPolicy::CategoryFn hinted_category_fn(
     std::shared_ptr<const CategoryHints> hints,
     AdaptiveCategoryPolicy::CategoryFn fallback) {
-  if (!hints) {
-    throw std::invalid_argument("hinted_category_fn: null hint table");
-  }
-  return [hints = std::move(hints),
-          fallback = std::move(fallback)](const trace::Job& job) {
-    const auto it = hints->find(job.job_id);
-    if (it != hints->end()) return it->second;
+  auto provider = core::make_precomputed_provider(std::move(hints));
+  return [provider, fallback = std::move(fallback)](const trace::Job& job) {
+    if (const auto hint = provider->category(job)) return *hint;
     return fallback ? fallback(job) : 0;
   };
 }

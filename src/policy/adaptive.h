@@ -14,6 +14,19 @@
 // Updates happen at most once per decision interval t_l, and only at job
 // arrivals.
 //
+// Category consumption goes through the core::CategoryProvider API
+// (core/category_provider.h): the policy asks the provider at decision time
+// and, when the provider declines (no model, hint not ready, deadline
+// missed), falls back to the robust hash category — Algorithm 1 never
+// blocks on inference. Providers compose (fallback chains, precomputed
+// tables, async serving, noise injection) without touching this file.
+//
+// DEPRECATED: the CategoryFn-based constructor and the hash_category_fn /
+// hinted_category_fn helpers are thin shims over the provider API, kept for
+// source compatibility. New code should construct a CategoryProvider
+// (core/category_provider.h, serving/placement_service.h) instead; the
+// shims will be removed once nothing references them.
+//
 // NOTE on the published pseudocode: Algorithm 1 lines 7-8 print
 // `ACT = max(N-1, ACT+1)` for low spillover and `ACT = min(1, ACT-1)` for
 // high spillover, which contradicts both the prose and the notation table
@@ -26,17 +39,17 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "core/category_provider.h"
 #include "policy/policy.h"
 
 namespace byom::policy {
 
-// Precomputed per-job category hints (job_id -> category), typically filled
-// by one CategoryModel::predict_batch pass so the online decision loop never
-// touches the model.
-using CategoryHints = std::unordered_map<std::uint64_t, int>;
+// Precomputed per-job category hints (job_id -> category). Canonical home
+// is core::CategoryHints; this alias keeps existing policy:: spellings
+// working.
+using CategoryHints = core::CategoryHints;
 
 struct AdaptiveConfig {
   int num_categories = 15;           // N
@@ -62,7 +75,14 @@ class AdaptiveCategoryPolicy final : public PlacementPolicy {
  public:
   using CategoryFn = std::function<int(const trace::Job&)>;
 
-  // `category_fn` returns the job's importance category in [0, N-1].
+  // `provider` yields the job's importance category in [0, N-1]; when it
+  // declines, the policy degrades to the hash category (robust fallback).
+  AdaptiveCategoryPolicy(std::string name,
+                         core::CategoryProviderPtr provider,
+                         const AdaptiveConfig& config = {});
+
+  // DEPRECATED shim: wraps `category_fn` in a function provider. Prefer the
+  // CategoryProvider constructor.
   AdaptiveCategoryPolicy(std::string name, CategoryFn category_fn,
                          const AdaptiveConfig& config = {});
 
@@ -77,6 +97,9 @@ class AdaptiveCategoryPolicy final : public PlacementPolicy {
   }
   // Last predicted category (exposed for the dynamics bench).
   int last_category() const { return last_category_; }
+  // Decisions the provider declined and the hash fallback answered.
+  std::uint64_t provider_fallbacks() const { return provider_fallbacks_; }
+  const core::CategoryProviderPtr& provider() const { return provider_; }
 
  private:
   struct HistoryEntry {
@@ -93,23 +116,24 @@ class AdaptiveCategoryPolicy final : public PlacementPolicy {
   void expire_history(double t);
 
   std::string name_;
-  CategoryFn category_fn_;
+  core::CategoryProviderPtr provider_;
+  core::CategoryProviderPtr fallback_;  // hash; answers declined lookups
   AdaptiveConfig config_;
   int act_ = 1;
   double last_decision_time_ = -1e300;  // t_d
   std::deque<HistoryEntry> history_;    // X_h, ordered by arrival
   std::vector<AdaptiveDecisionRecord> decision_log_;
   int last_category_ = 0;
+  std::uint64_t provider_fallbacks_ = 0;
 };
 
-// Category provider for the Adaptive Hash ablation: a uniform hash of the
-// job key onto [1, N-1]. Exercises Algorithm 1 without any learned ranking.
+// DEPRECATED shim over core::make_hash_provider: uniform hash of the job
+// key onto [1, N-1] (the Adaptive Hash ablation).
 AdaptiveCategoryPolicy::CategoryFn hash_category_fn(int num_categories);
 
-// Category provider over precomputed hints: jobs found in `hints` use the
-// batched prediction; anything else (late arrivals, jobs from another
-// trace) falls back to `fallback`. This is how the batch inference API is
-// consumed by Algorithm 1 without changing its decision logic.
+// DEPRECATED shim over core::make_precomputed_provider +
+// core::make_fallback_chain: jobs found in `hints` use the batched
+// prediction; anything else falls back to `fallback` (0 when null).
 AdaptiveCategoryPolicy::CategoryFn hinted_category_fn(
     std::shared_ptr<const CategoryHints> hints,
     AdaptiveCategoryPolicy::CategoryFn fallback);

@@ -1,0 +1,87 @@
+#include "serving/inference_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace byom::serving {
+
+InferenceRequestQueue::InferenceRequestQueue(std::size_t capacity)
+    : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("InferenceRequestQueue: capacity >= 1");
+  }
+}
+
+bool InferenceRequestQueue::try_push(InferenceRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool InferenceRequestQueue::push(InferenceRequest request) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return shutdown_ || items_.size() < capacity_; });
+    if (shutdown_) return false;
+    items_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<InferenceRequest> InferenceRequestQueue::pop(
+    std::chrono::milliseconds wait) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_for(lock, wait,
+                      [this] { return shutdown_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;
+  InferenceRequest request = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return request;
+}
+
+std::size_t InferenceRequestQueue::pop_batch(
+    std::vector<InferenceRequest>& out, std::size_t max_batch,
+    std::chrono::milliseconds wait) {
+  if (max_batch == 0) return 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_for(lock, wait,
+                      [this] { return shutdown_ || !items_.empty(); });
+  std::size_t popped = 0;
+  while (popped < max_batch && !items_.empty()) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+    ++popped;
+  }
+  lock.unlock();
+  if (popped > 0) not_full_.notify_all();
+  return popped;
+}
+
+void InferenceRequestQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool InferenceRequestQueue::shut_down() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
+}
+
+std::size_t InferenceRequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+}  // namespace byom::serving

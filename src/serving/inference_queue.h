@@ -1,0 +1,67 @@
+// Bounded MPMC queue of category-inference requests — the entry point of
+// the online serving loop (request queue -> batcher -> model) that keeps
+// model inference off the storage layer's critical path, as the paper's
+// production design requires.
+//
+// Any number of producers (job submission paths) push requests; any number
+// of consumers (Batcher workers) pop them in FIFO order, individually or in
+// batches. The queue is bounded so a stalled model back-pressures producers
+// instead of growing without limit; try_push() lets callers degrade to the
+// fallback provider rather than block.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "trace/job.h"
+
+namespace byom::serving {
+
+struct InferenceRequest {
+  // The job is copied into the request: a request may outlive the
+  // submission context that created it.
+  trace::Job job;
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+class InferenceRequestQueue {
+ public:
+  explicit InferenceRequestQueue(std::size_t capacity);
+
+  // Non-blocking push; false when the queue is full or shut down.
+  bool try_push(InferenceRequest request);
+
+  // Blocking push; waits while the queue is full. False once shut down.
+  bool push(InferenceRequest request);
+
+  // Pops one request, waiting up to `wait` for one to arrive. Empty optional
+  // on timeout or when the queue is shut down and drained.
+  std::optional<InferenceRequest> pop(std::chrono::milliseconds wait);
+
+  // Appends up to `max_batch` requests to `out`, waiting up to `wait` for
+  // the first one. Returns the number appended (0 on timeout/shutdown).
+  std::size_t pop_batch(std::vector<InferenceRequest>& out,
+                        std::size_t max_batch, std::chrono::milliseconds wait);
+
+  // Wakes all waiters; subsequent pushes fail, pops drain what remains.
+  void shutdown();
+  bool shut_down() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<InferenceRequest> items_;
+  bool shutdown_ = false;
+};
+
+}  // namespace byom::serving

@@ -1,0 +1,179 @@
+#include "serving/placement_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace byom::serving {
+
+PlacementService::PlacementService(
+    std::shared_ptr<const core::ModelRegistry> registry,
+    const PlacementServiceConfig& config)
+    : config_(config),
+      registry_(std::move(registry)),
+      queue_(config.queue_capacity),
+      batcher_(&queue_, BatcherConfig{config.max_batch, config.flush_deadline},
+               [this](std::vector<InferenceRequest>&& batch) {
+                 execute_batch(std::move(batch));
+               }) {
+  if (!registry_) {
+    throw std::invalid_argument("PlacementService: null registry");
+  }
+  if (config_.fallback_num_categories < 2) {
+    throw std::invalid_argument("PlacementService: fallback N >= 2 required");
+  }
+  workers_.reserve(config_.num_threads);
+  for (std::size_t i = 0; i < config_.num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PlacementService::~PlacementService() {
+  shutdown();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void PlacementService::worker_loop() {
+  while (batcher_.run_once()) {
+  }
+}
+
+bool PlacementService::enqueue(const trace::Job& job) {
+  InferenceRequest request;
+  request.job = job;
+  request.enqueued_at = std::chrono::steady_clock::now();
+  if (!queue_.try_push(std::move(request))) {
+    dropped_.fetch_add(1);
+    return false;
+  }
+  enqueued_.fetch_add(1);
+  return true;
+}
+
+std::size_t PlacementService::enqueue_all(
+    const std::vector<trace::Job>& jobs) {
+  std::size_t accepted = 0;
+  for (const auto& job : jobs) {
+    if (enqueue(job)) ++accepted;
+  }
+  return accepted;
+}
+
+std::optional<int> PlacementService::lookup(std::uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  const auto it = results_.find(job_id);
+  if (it == results_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<int> PlacementService::wait_for(std::uint64_t job_id) {
+  if (deterministic()) {
+    auto hint = lookup(job_id);
+    if (!hint && config_.drain_on_lookup) {
+      // Process everything queued so far on this thread: the "every request
+      // meets its deadline" regime, with no timing dependence.
+      batcher_.drain();
+      hint = lookup(job_id);
+    }
+    if (hint) {
+      hits_.fetch_add(1);
+    } else {
+      misses_.fetch_add(1);
+    }
+    return hint;
+  }
+
+  std::unique_lock<std::mutex> lock(results_mutex_);
+  const auto found = [&] { return results_.find(job_id) != results_.end(); };
+  results_cv_.wait_for(lock, config_.request_deadline, found);
+  if (found()) {
+    const int category = results_.at(job_id);
+    hits_.fetch_add(1);
+    return category;
+  }
+  misses_.fetch_add(1);
+  return std::nullopt;
+}
+
+void PlacementService::execute_batch(std::vector<InferenceRequest>&& batch) {
+  // One registry-grouped predict_batch pass — the exact code path offline
+  // precomputation uses, which is what makes served hints bit-identical to
+  // offline-batched hints.
+  std::vector<trace::Job> jobs;
+  jobs.reserve(batch.size());
+  for (const auto& request : batch) jobs.push_back(request.job);
+  const core::CategoryHints hints = core::precompute_categories(
+      *registry_, jobs, config_.fallback_num_categories);
+
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    for (const auto& request : batch) {
+      // First publication wins; a duplicate request for an already-served
+      // job completes without recounting stats.
+      if (!results_.emplace(request.job.job_id, hints.at(request.job.job_id))
+               .second) {
+        continue;
+      }
+      ++completed_;
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(now - request.enqueued_at)
+              .count();
+      total_latency_ms_ += latency_ms;
+      max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
+    }
+  }
+  results_cv_.notify_all();
+}
+
+void PlacementService::shutdown() { queue_.shutdown(); }
+
+ServingStats PlacementService::stats() const {
+  ServingStats stats;
+  stats.enqueued = enqueued_.load();
+  stats.dropped = dropped_.load();
+  stats.hits = hits_.load();
+  stats.misses = misses_.load();
+  stats.batches = batcher_.batches();
+  stats.size_flushes = batcher_.size_flushes();
+  stats.deadline_flushes = batcher_.deadline_flushes();
+  {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    stats.completed = completed_;
+    stats.total_latency_ms = total_latency_ms_;
+    stats.max_latency_ms = max_latency_ms_;
+  }
+  return stats;
+}
+
+namespace {
+
+class ServedCategoryProvider final : public core::CategoryProvider {
+ public:
+  explicit ServedCategoryProvider(std::shared_ptr<PlacementService> service)
+      : service_(std::move(service)) {
+    if (!service_) {
+      throw std::invalid_argument("make_served_provider: null service");
+    }
+  }
+
+  std::string name() const override { return "served"; }
+
+  std::optional<int> category(const trace::Job& job) override {
+    return service_->wait_for(job.job_id);
+  }
+
+ private:
+  std::shared_ptr<PlacementService> service_;
+};
+
+}  // namespace
+
+core::CategoryProviderPtr make_served_provider(
+    std::shared_ptr<PlacementService> service) {
+  return std::make_shared<ServedCategoryProvider>(std::move(service));
+}
+
+}  // namespace byom::serving

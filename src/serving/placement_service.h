@@ -1,0 +1,155 @@
+// PlacementService — the online serving loop of the paper's production
+// design: jobs enqueue inference requests, a Batcher groups them, the
+// workload's CategoryModel predicts whole batches, and Algorithm 1 consumes
+// whatever hint is ready when the placement decision happens, falling back
+// gracefully when it isn't (paper section 2.3 robustness, section 6
+// dynamics; see also Hafeez et al. on decoupling storage management from
+// pipeline execution).
+//
+//   submit path                 serving loop                decision path
+//   -----------                 ------------                -------------
+//   enqueue(job) ---> InferenceRequestQueue ---> Batcher ---> predict_batch
+//                                                              |
+//   provider()->category(job) <---- published hint table <-----+
+//
+// Two execution modes:
+//   * num_threads >= 1: worker threads drive the batcher; consumers wait up
+//     to `request_deadline` for an in-flight hint before declining (a miss,
+//     counted — the consumer's fallback chain takes over).
+//   * num_threads == 0: deterministic single-thread mode. No threads, no
+//     timing: provider lookups drain every queued request synchronously, so
+//     every request "meets its deadline" and results are bit-reproducible —
+//     the mode simulation cells and tests use.
+//
+// Category values are produced by the same registry-grouped
+// CategoryModel::predict_batch pass as the offline path
+// (core::precompute_categories), so served hints are bit-identical to
+// offline-batched hints whenever every request completes in time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/byom.h"
+#include "core/category_provider.h"
+#include "serving/batcher.h"
+#include "serving/inference_queue.h"
+
+namespace byom::serving {
+
+struct PlacementServiceConfig {
+  std::size_t queue_capacity = 4096;
+  std::size_t max_batch = 64;
+  // Batcher flush deadline: max hint latency added by batching under light
+  // load (threaded mode only).
+  std::chrono::milliseconds flush_deadline{2};
+  // Consumer wait budget for an in-flight hint before declining (threaded
+  // mode only; deterministic mode drains synchronously instead).
+  std::chrono::milliseconds request_deadline{5};
+  // Worker threads driving the batcher. 0 selects the deterministic
+  // single-thread mode described above.
+  std::size_t num_threads = 1;
+  // Jobs whose workload has no model in the registry are served the robust
+  // hash fallback over this N (mirrors core::precompute_categories).
+  int fallback_num_categories = 15;
+  // Deterministic mode only: when false, provider lookups do NOT drain the
+  // queue — pending requests never complete, so every lookup declines.
+  // Exists to test deadline-miss/fallback accounting deterministically.
+  bool drain_on_lookup = true;
+};
+
+// Aggregate serving counters (all monotonic).
+struct ServingStats {
+  std::uint64_t enqueued = 0;   // requests accepted into the queue
+  std::uint64_t dropped = 0;    // requests rejected (queue full / shut down)
+  std::uint64_t completed = 0;  // hints published
+  std::uint64_t hits = 0;       // provider lookups answered with a hint
+  std::uint64_t misses = 0;     // provider lookups that declined (deadline
+                                // missed or never requested) -> fallback
+  std::uint64_t batches = 0;
+  std::uint64_t size_flushes = 0;
+  std::uint64_t deadline_flushes = 0;
+  double total_latency_ms = 0.0;  // enqueue -> publish, summed
+  double max_latency_ms = 0.0;
+
+  double mean_latency_ms() const {
+    return completed > 0 ? total_latency_ms / static_cast<double>(completed)
+                         : 0.0;
+  }
+};
+
+class PlacementService {
+ public:
+  // The registry maps each job to its workload's model (core/byom.h).
+  explicit PlacementService(
+      std::shared_ptr<const core::ModelRegistry> registry,
+      const PlacementServiceConfig& config = {});
+  ~PlacementService();
+
+  PlacementService(const PlacementService&) = delete;
+  PlacementService& operator=(const PlacementService&) = delete;
+
+  // Requests a category hint for `job`. Non-blocking: false means the
+  // request was dropped (queue full or service shut down) and the consumer
+  // will fall back at decision time.
+  bool enqueue(const trace::Job& job);
+  // Convenience for replay-style consumers that know the upcoming jobs.
+  // Returns the number of requests accepted.
+  std::size_t enqueue_all(const std::vector<trace::Job>& jobs);
+
+  // Non-blocking result lookup (no hit/miss accounting).
+  std::optional<int> lookup(std::uint64_t job_id) const;
+
+  // Consumer-side lookup with the service's fallback semantics: waits up to
+  // `request_deadline` in threaded mode, drains the queue synchronously in
+  // deterministic mode. Counts a hit or a miss.
+  std::optional<int> wait_for(std::uint64_t job_id);
+
+  // Stops accepting requests; workers drain what is queued, then exit.
+  // Idempotent; also called by the destructor.
+  void shutdown();
+
+  ServingStats stats() const;
+  bool deterministic() const { return config_.num_threads == 0; }
+  std::size_t pending_requests() const { return queue_.size(); }
+  const PlacementServiceConfig& config() const { return config_; }
+
+ private:
+  void execute_batch(std::vector<InferenceRequest>&& batch);
+  void worker_loop();
+
+  const PlacementServiceConfig config_;
+  std::shared_ptr<const core::ModelRegistry> registry_;
+  InferenceRequestQueue queue_;
+  Batcher batcher_;
+
+  mutable std::mutex results_mutex_;
+  std::condition_variable results_cv_;
+  core::CategoryHints results_;
+  std::uint64_t completed_ = 0;
+  double total_latency_ms_ = 0.0;
+  double max_latency_ms_ = 0.0;
+
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+// Async CategoryProvider over a service: category() = wait_for(job_id).
+// Declines on a miss, so compose it with a sync fallback via
+// core::make_fallback_chain. Holds a shared_ptr, keeping the service alive
+// for as long as any consumer does.
+core::CategoryProviderPtr make_served_provider(
+    std::shared_ptr<PlacementService> service);
+
+}  // namespace byom::serving

@@ -1,5 +1,6 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "policy/first_fit.h"
 #include "policy/lifetime_ml.h"
 #include "policy/oracle_replay.h"
+#include "serving/placement_service.h"
 
 namespace byom::sim {
 
@@ -21,6 +23,7 @@ const char* method_name(MethodId id) {
     case MethodId::kOracleTco: return "OracleTCO";
     case MethodId::kOracleTcio: return "OracleTCIO";
     case MethodId::kTrueCategory: return "TrueCategory";
+    case MethodId::kAdaptiveServed: return "AdaptiveServed";
   }
   return "Unknown";
 }
@@ -67,6 +70,7 @@ void MethodFactory::warm(MethodId id) const {
   switch (id) {
     case MethodId::kAdaptiveRanking:
     case MethodId::kTrueCategory:
+    case MethodId::kAdaptiveServed:
       shared_category_model();
       break;
     case MethodId::kMlBaseline: {
@@ -95,12 +99,77 @@ void MethodFactory::set_true_hints(
 std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
     MethodId id, const trace::Trace& test,
     std::uint64_t ssd_capacity_bytes) const {
-  return make(id, test, ssd_capacity_bytes, adaptive_config_);
+  return make(id, test, ssd_capacity_bytes, MakeOptions{});
 }
 
 std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
     MethodId id, const trace::Trace& test, std::uint64_t ssd_capacity_bytes,
-    const policy::AdaptiveConfig& adaptive_config) const {
+    const policy::AdaptiveConfig& adaptive) const {
+  MakeOptions options;
+  options.adaptive = adaptive;
+  return make(id, test, ssd_capacity_bytes, options);
+}
+
+core::CategoryProviderPtr MethodFactory::make_provider(
+    MethodId id, const trace::Trace& test,
+    const policy::AdaptiveConfig& adaptive) const {
+  switch (id) {
+    case MethodId::kAdaptiveHash:
+      return core::make_hash_provider(adaptive.num_categories);
+    case MethodId::kAdaptiveRanking: {
+      // Share the trained model with the provider: the policy stays valid
+      // independently of this factory's lifetime, without copying the
+      // forest per cell.
+      auto model = core::make_model_provider(shared_category_model());
+      if (predicted_hints_) {
+        return core::make_fallback_chain(
+            {core::make_precomputed_provider(predicted_hints_, "predicted"),
+             std::move(model)});
+      }
+      return model;
+    }
+    case MethodId::kTrueCategory: {
+      auto model = core::make_model_provider(shared_category_model(),
+                                             /*use_true_category=*/true);
+      if (true_hints_) {
+        return core::make_fallback_chain(
+            {core::make_precomputed_provider(true_hints_, "true"),
+             std::move(model)});
+      }
+      return model;
+    }
+    case MethodId::kAdaptiveServed: {
+      // The online serving loop in deterministic single-thread mode: the
+      // test trace's requests stream through the bounded queue and the
+      // batcher; the policy consumes hints through the served provider.
+      // Deterministic mode keeps cells bit-reproducible inside parallel
+      // sweeps (and is why served results match offline-batched ones).
+      auto registry = std::make_shared<core::ModelRegistry>();
+      registry->set_default_model(shared_category_model());
+      serving::PlacementServiceConfig config;
+      config.num_threads = 0;  // deterministic mode
+      config.queue_capacity = std::max<std::size_t>(1024, test.size());
+      config.max_batch = 256;
+      config.fallback_num_categories = adaptive.num_categories;
+      auto service = std::make_shared<serving::PlacementService>(
+          std::move(registry), config);
+      service->enqueue_all(test.jobs());
+      // Sync model inference backstops requests the service dropped.
+      return core::make_fallback_chain(
+          {serving::make_served_provider(std::move(service)),
+           core::make_model_provider(shared_category_model())});
+    }
+    default:
+      throw std::invalid_argument(
+          "MethodFactory::make_provider: not an adaptive method");
+  }
+}
+
+std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
+    MethodId id, const trace::Trace& test, std::uint64_t ssd_capacity_bytes,
+    const MakeOptions& options) const {
+  const policy::AdaptiveConfig& adaptive =
+      options.adaptive.has_value() ? *options.adaptive : adaptive_config_;
   switch (id) {
     case MethodId::kFirstFit:
       return std::make_unique<policy::FirstFitPolicy>();
@@ -113,36 +182,18 @@ std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
       warm(MethodId::kMlBaseline);
       return std::make_unique<policy::LifetimeMlPolicy>(*ml_baseline_);
     case MethodId::kAdaptiveHash:
-      return std::make_unique<policy::AdaptiveCategoryPolicy>(
-          "AdaptiveHash",
-          policy::hash_category_fn(adaptive_config.num_categories),
-          adaptive_config);
-    case MethodId::kAdaptiveRanking: {
-      // Share the trained model with the closure: the policy stays valid
-      // independently of this factory's lifetime, without copying the
-      // forest per cell.
-      auto model = shared_category_model();
-      policy::AdaptiveCategoryPolicy::CategoryFn fn =
-          [model](const trace::Job& job) {
-            return model->predict_category(job);
-          };
-      if (predicted_hints_) {
-        fn = policy::hinted_category_fn(predicted_hints_, std::move(fn));
+    case MethodId::kAdaptiveRanking:
+    case MethodId::kTrueCategory:
+    case MethodId::kAdaptiveServed: {
+      auto provider = make_provider(id, test, adaptive);
+      if (options.hint_noise > 0.0) {
+        provider =
+            core::make_noisy_provider(std::move(provider), options.hint_noise,
+                                      options.noise_seed,
+                                      adaptive.num_categories);
       }
       return std::make_unique<policy::AdaptiveCategoryPolicy>(
-          "AdaptiveRanking", std::move(fn), adaptive_config);
-    }
-    case MethodId::kTrueCategory: {
-      auto model = shared_category_model();
-      policy::AdaptiveCategoryPolicy::CategoryFn fn =
-          [model](const trace::Job& job) {
-            return model->true_category(job);
-          };
-      if (true_hints_) {
-        fn = policy::hinted_category_fn(true_hints_, std::move(fn));
-      }
-      return std::make_unique<policy::AdaptiveCategoryPolicy>(
-          "TrueCategory", std::move(fn), adaptive_config);
+          method_name(id), std::move(provider), adaptive);
     }
     case MethodId::kOracleTco: {
       const auto solution = oracle::solve_greedy(

@@ -5,16 +5,26 @@
 // Methods (paper section 5.1 "Methods Compared"):
 //   FirstFit, Heuristic, MLBaseline, AdaptiveHash, AdaptiveRanking,
 //   OracleTCO, OracleTCIO — plus TrueCategory (Figure 11's perfect-model
-//   variant of AdaptiveRanking).
+//   variant of AdaptiveRanking) and AdaptiveServed (AdaptiveRanking whose
+//   hints flow through the online serving loop, serving/placement_service.h,
+//   in deterministic mode: offline-batched vs online-served comparisons).
+//
+// All adaptive methods construct their category source as a
+// core::CategoryProvider chain (core/category_provider.h); MakeOptions can
+// additionally wrap the chain in a seeded NoisyProvider for hint-noise
+// sensitivity sweeps.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/byom.h"
 #include "core/category_model.h"
+#include "core/category_provider.h"
 #include "cost/cost_model.h"
 #include "policy/adaptive.h"
 #include "policy/lifetime_ml.h"
@@ -34,6 +44,7 @@ enum class MethodId {
   kOracleTco,
   kOracleTcio,
   kTrueCategory,
+  kAdaptiveServed,
 };
 
 const char* method_name(MethodId id);
@@ -44,6 +55,19 @@ std::uint64_t quota_capacity(const trace::Trace& test, double quota_fraction);
 // Same, over a precomputed peak (the parallel runner caches the peak per
 // cluster; both paths share this arithmetic so they stay bit-identical).
 std::uint64_t quota_capacity(std::uint64_t peak_bytes, double quota_fraction);
+
+// Per-policy construction knobs (sweeps build many policies from one
+// factory without mutating shared state).
+struct MakeOptions {
+  // Algorithm-1 hyperparameter override; unset uses the factory's config.
+  std::optional<policy::AdaptiveConfig> adaptive;
+  // Fraction of category hints flipped by a seeded NoisyProvider wrapped
+  // around the method's provider chain (adaptive methods only). 0 disables.
+  double hint_noise = 0.0;
+  // Seed for the noise decorator; ExperimentRunner cells pass their
+  // deterministic per-cell seed here.
+  std::uint64_t noise_seed = 0;
+};
 
 // Trains/caches per-cluster artifacts and manufactures policies.
 class MethodFactory {
@@ -57,11 +81,14 @@ class MethodFactory {
   std::unique_ptr<policy::PlacementPolicy> make(
       MethodId id, const trace::Trace& test,
       std::uint64_t ssd_capacity_bytes) const;
-  // Same, with an explicit Algorithm-1 config (hyperparameter sweeps build
-  // many policies from one factory without mutating shared state).
+  // Same, with an explicit Algorithm-1 config.
   std::unique_ptr<policy::PlacementPolicy> make(
       MethodId id, const trace::Trace& test, std::uint64_t ssd_capacity_bytes,
       const policy::AdaptiveConfig& adaptive) const;
+  // Full-control variant (noise injection, per-cell seeds).
+  std::unique_ptr<policy::PlacementPolicy> make(
+      MethodId id, const trace::Trace& test, std::uint64_t ssd_capacity_bytes,
+      const MakeOptions& options) const;
 
   // Lazily trained category model (shared across makes; thread-safe, so
   // parallel experiment cells can share one factory).
@@ -89,12 +116,17 @@ class MethodFactory {
 
   // Precomputed test-trace categories (one CategoryModel::predict_batch /
   // true-label pass shared by every cell of a sweep). When set,
-  // AdaptiveRanking / TrueCategory policies consume the hints and only fall
-  // back to per-job inference for jobs outside the table.
+  // AdaptiveRanking / TrueCategory policies consult the table first and
+  // only fall back to per-job inference for jobs outside it.
   void set_predicted_hints(std::shared_ptr<const policy::CategoryHints> hints);
   void set_true_hints(std::shared_ptr<const policy::CategoryHints> hints);
 
  private:
+  // The provider chain for one adaptive method (before noise decoration).
+  core::CategoryProviderPtr make_provider(
+      MethodId id, const trace::Trace& test,
+      const policy::AdaptiveConfig& adaptive) const;
+
   trace::Trace train_;
   cost::CostModel cost_model_;
   core::CategoryModelConfig model_config_;

@@ -73,12 +73,12 @@ CellResult ExperimentRunner::run_cell(const ExperimentCell& cell) const {
   out.cell = cell;
   out.capacity_bytes = quota_capacity(cluster.peak_bytes, cell.quota);
 
-  const auto policy =
-      cell.adaptive.has_value()
-          ? cluster.factory->make(cell.method, *cluster.test,
-                                  out.capacity_bytes, *cell.adaptive)
-          : cluster.factory->make(cell.method, *cluster.test,
-                                  out.capacity_bytes);
+  MakeOptions options;
+  options.adaptive = cell.adaptive;
+  options.hint_noise = cell.hint_noise;
+  options.noise_seed = cell.seed;
+  const auto policy = cluster.factory->make(cell.method, *cluster.test,
+                                            out.capacity_bytes, options);
   SimConfig config;
   config.ssd_capacity_bytes = out.capacity_bytes;
   config.rates = cluster.factory->cost_model().rates();

@@ -23,11 +23,14 @@ struct ExperimentCell {
   std::size_t cluster = 0;  // index returned by ExperimentRunner::add_cluster
   MethodId method = MethodId::kFirstFit;
   double quota = 0.1;       // fraction of the test trace's peak usage
-  std::uint64_t seed = 0;   // deterministic per-cell seed (recorded, and
-                            // reserved for stochastic policies/repeats)
+  std::uint64_t seed = 0;   // deterministic per-cell seed; consumed by
+                            // stochastic cells (hint_noise) and recorded
   // Algorithm-1 hyperparameter override for sensitivity sweeps; unset cells
   // use the factory's config.
   std::optional<policy::AdaptiveConfig> adaptive;
+  // Fraction of category hints flipped by a NoisyProvider seeded with
+  // `seed` (adaptive methods only; noisy-hint sensitivity sweeps).
+  double hint_noise = 0.0;
   bool record_outcomes = false;
 };
 

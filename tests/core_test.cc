@@ -340,6 +340,151 @@ TEST(ByomPolicyBatched, MatchesUnbatchedDecisions) {
   }
 }
 
+// --------------------------------------------------------- CategoryProvider
+
+TEST(CategoryProvider, HashProviderMatchesDeprecatedShim) {
+  const auto provider = make_hash_provider(15);
+  const auto shim = policy::hash_category_fn(15);
+  for (const char* key : {"a/b", "org_ads.pipe.step", "x", "pipe/step/7"}) {
+    trace::Job j;
+    j.job_key = key;
+    const auto c = provider->category(j);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(*c, shim(j));
+    EXPECT_GE(*c, 1);
+    EXPECT_LT(*c, 15);
+  }
+}
+
+TEST(CategoryProvider, FallbackChainFirstOpinionWins) {
+  const auto declines = make_function_provider(
+      "declines", [](const trace::Job&) { return std::optional<int>(); });
+  const auto three = make_function_provider(
+      "three", [](const trace::Job&) { return std::optional<int>(3); });
+  const auto seven = make_function_provider(
+      "seven", [](const trace::Job&) { return std::optional<int>(7); });
+  trace::Job j;
+
+  const auto chain = make_fallback_chain({declines, three, seven});
+  EXPECT_EQ(chain->category(j), 3);
+  const auto all_decline = make_fallback_chain({declines, declines});
+  EXPECT_FALSE(all_decline->category(j).has_value());
+  const auto empty = make_fallback_chain({});
+  EXPECT_FALSE(empty->category(j).has_value());
+}
+
+TEST(CategoryProvider, PrecomputedDeclinesOutsideTable) {
+  auto hints = std::make_shared<CategoryHints>();
+  (*hints)[7] = 4;
+  const auto provider = make_precomputed_provider(std::move(hints));
+  trace::Job j;
+  j.job_id = 7;
+  EXPECT_EQ(provider->category(j), 4);
+  j.job_id = 8;
+  EXPECT_FALSE(provider->category(j).has_value());
+}
+
+TEST(NoisyProvider, ZeroNoiseIsIdentity) {
+  const auto t = cluster_trace(0, 412, 6, 2.0);
+  const auto inner = make_hash_provider(15);
+  const auto noisy = make_noisy_provider(inner, 0.0, 99, 15);
+  for (const auto& j : t.jobs()) {
+    EXPECT_EQ(noisy->category(j), inner->category(j));
+  }
+}
+
+TEST(NoisyProvider, SeededFlipsAreDeterministicAndAlwaysWrong) {
+  const auto t = cluster_trace(0, 413);
+  const auto inner = make_hash_provider(15);
+  const auto noisy_a = make_noisy_provider(inner, 0.3, 42, 15);
+  const auto noisy_b = make_noisy_provider(inner, 0.3, 42, 15);
+  const auto noisy_c = make_noisy_provider(inner, 0.3, 43, 15);
+  std::size_t flipped = 0, differs_by_seed = 0;
+  for (const auto& j : t.jobs()) {
+    const auto original = inner->category(j);
+    const auto a = noisy_a->category(j);
+    EXPECT_EQ(a, noisy_b->category(j));  // same seed: same flips
+    ASSERT_TRUE(a.has_value());
+    EXPECT_GE(*a, 0);
+    EXPECT_LT(*a, 15);
+    if (a != original) ++flipped;             // a flip always changes the hint
+    if (a != noisy_c->category(j)) ++differs_by_seed;
+  }
+  // ~30% of hints flipped (binomial; generous tolerance).
+  const double fraction =
+      static_cast<double>(flipped) / static_cast<double>(t.size());
+  EXPECT_NEAR(fraction, 0.3, 0.07);
+  EXPECT_GT(differs_by_seed, 0u);  // a different seed flips different jobs
+}
+
+TEST(NoisyProvider, PassesThroughDeclines) {
+  const auto declines = make_function_provider(
+      "declines", [](const trace::Job&) { return std::optional<int>(); });
+  const auto noisy = make_noisy_provider(declines, 1.0, 1, 15);
+  trace::Job j;
+  EXPECT_FALSE(noisy->category(j).has_value());
+}
+
+// -------------------------------------------------- unified make_byom_policy
+
+TEST(ByomPolicyOptions, PrecomputedMatchesSyncDecisions) {
+  const auto t = cluster_trace(0, 414);
+  const auto split = trace::split_train_test(t);
+  auto model = std::make_shared<CategoryModel>(
+      CategoryModel::train(split.train.jobs(), small_model_config()));
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->set_default_model(model);
+
+  ByomPolicyOptions sync_options;
+  sync_options.adaptive.num_categories = model->num_categories();
+  auto sync = make_byom_policy(registry, sync_options);
+
+  ByomPolicyOptions batched_options = sync_options;
+  batched_options.hints = HintSource::kPrecomputed;
+  batched_options.precompute_jobs = &split.test.jobs();
+  auto batched = make_byom_policy(registry, batched_options);
+
+  policy::StorageView view;
+  view.ssd_capacity_bytes = 100 * kGiB;
+  for (const auto& j : split.test.jobs()) {
+    sync->decide(j, view);
+    batched->decide(j, view);
+    EXPECT_EQ(batched->last_category(), sync->last_category());
+  }
+}
+
+TEST(ByomPolicyOptions, CustomProviderFrontsTheChain) {
+  auto registry = std::make_shared<ModelRegistry>();  // no models
+  ByomPolicyOptions options;
+  options.hints = HintSource::kCustom;
+  options.custom_provider = make_function_provider(
+      "const", [](const trace::Job&) { return std::optional<int>(9); });
+  options.name = "custom";
+  auto policy = make_byom_policy(registry, options);
+  EXPECT_EQ(policy->name(), "custom");
+  trace::Job j;
+  j.job_key = "some/job";
+  j.lifetime = 60.0;
+  j.peak_bytes = kGiB;
+  policy::StorageView view;
+  view.ssd_capacity_bytes = 100 * kGiB;
+  policy->decide(j, view);
+  EXPECT_EQ(policy->last_category(), 9);
+}
+
+TEST(ByomPolicyOptions, InvalidSelectionsThrow) {
+  auto registry = std::make_shared<ModelRegistry>();
+  ByomPolicyOptions precomputed;
+  precomputed.hints = HintSource::kPrecomputed;  // no precompute_jobs
+  EXPECT_THROW(make_byom_policy(registry, precomputed),
+               std::invalid_argument);
+  ByomPolicyOptions custom;
+  custom.hints = HintSource::kCustom;  // no custom_provider
+  EXPECT_THROW(make_byom_policy(registry, custom), std::invalid_argument);
+  EXPECT_THROW(make_byom_policy(nullptr, ByomPolicyOptions{}),
+               std::invalid_argument);
+}
+
 TEST(TrainByomModel, WrapperMatchesDirectTraining) {
   const auto t = cluster_trace(1, 408);
   const auto split = trace::split_train_test(t);

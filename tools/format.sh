@@ -1,0 +1,12 @@
+#!/bin/sh
+# Reformat every tracked C++ file in place with the repo's .clang-format.
+# CI's format-check job runs the same file set with --dry-run -Werror.
+set -eu
+cd "$(dirname "$0")/.."
+: "${CLANG_FORMAT:=clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT=<binary>)" >&2
+  exit 1
+fi
+git ls-files '*.cc' '*.h' '*.cpp' | xargs "$CLANG_FORMAT" -i "$@"
+echo "formatted $(git ls-files '*.cc' '*.h' '*.cpp' | wc -l) files"
