@@ -65,7 +65,11 @@ int main() {
       acfg.num_categories = n;
       policy::AdaptiveCategoryPolicy policy(
           "label-ablation",
-          [&labeler](const trace::Job& j) { return labeler.category_of(j); },
+          core::make_function_provider(
+              "labeler",
+              [&labeler](const trace::Job& j) {
+                return std::optional<int>(labeler.category_of(j));
+              }),
           acfg);
       tco[qi] = bench::run_policy(policy, split.test, cap).tco_savings_pct();
     }

@@ -2,11 +2,16 @@
 // clusters with fixed SSD quota (1% of peak usage), 5 methods, 10 clusters.
 // Paper headline: Adaptive Ranking saves up to 3.47x (2.59x on average)
 // over the best baseline per cluster.
+//
+// The whole (cluster x method) grid runs as one ExperimentRunner
+// multi-cluster grid: every cluster registers its trained factory and test
+// trace once, and all 50 cells shard across the pool (fig08 pattern).
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "common.h"
-#include "sim/metrics.h"
+#include "sim/experiment_runner.h"
 
 using namespace byom;
 
@@ -22,6 +27,21 @@ int main() {
       sim::MethodId::kMlBaseline, sim::MethodId::kFirstFit,
       sim::MethodId::kHeuristic};
 
+  std::vector<bench::BenchCluster> clusters;
+  for (std::uint32_t cluster_id = 0; cluster_id < 10; ++cluster_id) {
+    clusters.push_back(bench::make_bench_cluster(cluster_id, 16, 8.0));
+  }
+
+  sim::ExperimentRunner runner;
+  std::vector<sim::ExperimentCell> cells;
+  for (const auto& cluster : clusters) {
+    const auto index =
+        runner.add_cluster(cluster.factory.get(), &cluster.split.test);
+    const auto grid = runner.make_grid(index, methods, {0.01});
+    cells.insert(cells.end(), grid.begin(), grid.end());
+  }
+  const auto results = runner.run(cells);
+
   std::printf(
       "cluster,AdaptiveRanking_tco,AdaptiveHash_tco,MLBaseline_tco,"
       "FirstFit_tco,Heuristic_tco,AdaptiveRanking_tcio,AdaptiveHash_tcio,"
@@ -30,17 +50,19 @@ int main() {
   double max_factor = 0.0;
   double sum_factor = 0.0;
   int counted = 0;
-  for (std::uint32_t cluster_id = 0; cluster_id < 10; ++cluster_id) {
-    const auto cluster = bench::make_bench_cluster(cluster_id, 16, 8.0);
-    const auto cap = sim::quota_capacity(cluster.split.test, 0.01);
+  for (std::size_t cluster_id = 0; cluster_id < clusters.size();
+       ++cluster_id) {
     std::vector<double> tco, tcio;
     for (const auto id : methods) {
-      const auto r =
-          sim::run_method(*cluster.factory, id, cluster.split.test, cap);
-      tco.push_back(r.tco_savings_pct());
-      tcio.push_back(r.tcio_savings_pct());
+      for (const auto& result : results) {
+        if (result.cell.cluster == cluster_id && result.cell.method == id) {
+          tco.push_back(result.result.tco_savings_pct());
+          tcio.push_back(result.result.tcio_savings_pct());
+          break;
+        }
+      }
     }
-    std::printf("%u", cluster_id);
+    std::printf("%zu", cluster_id);
     for (double v : tco) std::printf(",%.3f", v);
     for (double v : tcio) std::printf(",%.3f", v);
     std::printf("\n");

@@ -77,7 +77,7 @@ void BM_AdaptivePolicyDecision(benchmark::State& state) {
   const auto& cluster = fixture().cluster;
   const auto& jobs = cluster.split.test.jobs();
   policy::AdaptiveCategoryPolicy policy(
-      "bench", policy::hash_category_fn(15),
+      "bench", core::make_hash_provider(15),
       cluster.factory->adaptive_config());
   policy::StorageView view;
   view.ssd_capacity_bytes = 1ULL << 40;
@@ -102,6 +102,43 @@ void BM_SimulatorReplay(benchmark::State& state) {
       state.iterations() * cluster.split.test.size()));
 }
 BENCHMARK(BM_SimulatorReplay);
+
+// Event-engine overhead vs the synchronous reference loop on the same
+// policy (the refactor's hot-path cost: one heap event per arrival/release).
+void BM_SimulatorReplaySynchronous(benchmark::State& state) {
+  const auto& cluster = fixture().cluster;
+  const auto cap = sim::quota_capacity(cluster.split.test, 0.05);
+  sim::SimConfig cfg;
+  cfg.ssd_capacity_bytes = cap;
+  for (auto _ : state) {
+    policy::FirstFitPolicy policy;
+    benchmark::DoNotOptimize(
+        sim::simulate_synchronous(cluster.split.test, policy, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * cluster.split.test.size()));
+}
+BENCHMARK(BM_SimulatorReplaySynchronous);
+
+// The full latency-aware serving pipeline under the event engine: arrival
+// events race exponential hint latencies and a daily retrain cadence.
+void BM_SimulatorReplayServedLatency(benchmark::State& state) {
+  const auto& cluster = fixture().cluster;
+  const auto cap = sim::quota_capacity(cluster.split.test, 0.05);
+  cluster.factory->warm(sim::MethodId::kAdaptiveServedLatency);
+  sim::MakeOptions options;
+  options.hint_latency = 0.5;
+  options.retrain_period = 86400.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::run_method(*cluster.factory,
+                        sim::MethodId::kAdaptiveServedLatency,
+                        cluster.split.test, cap, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * cluster.split.test.size()));
+}
+BENCHMARK(BM_SimulatorReplayServedLatency);
 
 void BM_OracleGreedy(benchmark::State& state) {
   const auto& cluster = fixture().cluster;

@@ -135,17 +135,6 @@ CategoryHints precompute_categories(const ModelRegistry& registry,
   return hints;
 }
 
-std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy_batched(
-    std::shared_ptr<const ModelRegistry> registry,
-    const std::vector<trace::Job>& jobs,
-    const policy::AdaptiveConfig& config) {
-  ByomPolicyOptions options;
-  options.adaptive = config;
-  options.hints = HintSource::kPrecomputed;
-  options.precompute_jobs = &jobs;
-  return make_byom_policy(std::move(registry), options);
-}
-
 CategoryModel train_byom_model(const std::vector<trace::Job>& history,
                                const CategoryModelConfig& config) {
   return CategoryModel::train(history, config);

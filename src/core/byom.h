@@ -22,10 +22,10 @@
 //                e.g. serving::make_served_provider() for the async
 //                request-queue -> batcher -> model serving loop
 //
-// DEPRECATED: the make_byom_policy(registry, AdaptiveConfig) and
-// make_byom_policy_batched(...) overloads are thin shims over
-// make_byom_policy(registry, ByomPolicyOptions) kept for source
-// compatibility; new code should pass ByomPolicyOptions.
+// make_byom_policy(registry, AdaptiveConfig) is a convenience overload for
+// the default (sync) hint source; everything else goes through
+// ByomPolicyOptions. (The old make_byom_policy_batched shim is gone — use
+// HintSource::kPrecomputed.)
 #pragma once
 
 #include <memory>
@@ -92,7 +92,7 @@ std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
     std::shared_ptr<const ModelRegistry> registry,
     const ByomPolicyOptions& options = {});
 
-// DEPRECATED shim: make_byom_policy with default (sync) hints.
+// Convenience: make_byom_policy with default (sync) hints.
 std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
     std::shared_ptr<const ModelRegistry> registry,
     const policy::AdaptiveConfig& config);
@@ -106,12 +106,6 @@ std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
 CategoryHints precompute_categories(const ModelRegistry& registry,
                                     const std::vector<trace::Job>& jobs,
                                     int fallback_num_categories);
-
-// DEPRECATED shim: make_byom_policy with HintSource::kPrecomputed.
-std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy_batched(
-    std::shared_ptr<const ModelRegistry> registry,
-    const std::vector<trace::Job>& jobs,
-    const policy::AdaptiveConfig& config = {});
 
 // One-call offline training for a workload/cluster history.
 CategoryModel train_byom_model(const std::vector<trace::Job>& history,

@@ -16,8 +16,7 @@
 //   make_model_provider        synchronous CategoryModel inference
 //                              (predicted or ground-truth labels)
 //   make_precomputed_provider  lookup into a batched-inference hint table
-//   make_function_provider     adapter for ad-hoc closures (and the
-//                              deprecated CategoryFn shims)
+//   make_function_provider     adapter for ad-hoc closures
 //   make_fallback_chain        first provider with an opinion wins
 //   make_noisy_provider        decorator flipping a seeded fraction of
 //                              hints (noisy-hint sensitivity studies)

@@ -1,0 +1,105 @@
+#include "core/staleness.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace byom::core {
+
+StalenessSchedule::StalenessSchedule(const StalenessConfig& config)
+    : config_(config), current_epoch_start_(config.epoch_start) {
+  if (config_.num_categories < 2) {
+    throw std::invalid_argument("StalenessSchedule: N >= 2 required");
+  }
+}
+
+double StalenessSchedule::age(double t) const {
+  const double age = t - current_epoch_start_;
+  return age > 0.0 ? age : 0.0;
+}
+
+double StalenessSchedule::corruption_probability(double t) const {
+  if (config_.half_life <= 0.0) return 0.0;
+  return 1.0 - std::exp2(-age(t) / config_.half_life);
+}
+
+std::vector<double> StalenessSchedule::retrain_times(double begin,
+                                                     double end) const {
+  std::vector<double> times;
+  if (config_.retrain_period <= 0.0) return times;
+  // First multiple of the period after `begin`, anchored at epoch_start.
+  double t = config_.epoch_start;
+  if (t <= begin) {
+    const double periods =
+        std::floor((begin - config_.epoch_start) / config_.retrain_period);
+    t = config_.epoch_start + (periods + 1.0) * config_.retrain_period;
+  }
+  for (; t <= end; t += config_.retrain_period) {
+    if (t > begin) times.push_back(t);
+  }
+  return times;
+}
+
+void StalenessSchedule::on_retrain(double t) {
+  if (t < current_epoch_start_) {
+    throw std::invalid_argument("StalenessSchedule: retrain in the past");
+  }
+  current_epoch_start_ = t;
+  ++retrain_count_;
+}
+
+namespace {
+
+class StaleProvider final : public CategoryProvider {
+ public:
+  StaleProvider(CategoryProviderPtr inner,
+                std::shared_ptr<StalenessSchedule> schedule,
+                std::shared_ptr<const sim::SimClock> clock)
+      : inner_(std::move(inner)),
+        schedule_(std::move(schedule)),
+        clock_(std::move(clock)),
+        hash_(make_hash_provider(schedule_ ? schedule_->config().num_categories
+                                           : 2)) {
+    if (!inner_ || !schedule_ || !clock_) {
+      throw std::invalid_argument("make_stale_provider: null argument");
+    }
+  }
+
+  std::string name() const override {
+    return "stale(" + inner_->name() + ")";
+  }
+
+  std::optional<int> category(const trace::Job& job) override {
+    const auto hint = inner_->category(job);
+    if (!hint) return hint;
+    const double p = schedule_->corruption_probability(clock_->now());
+    if (p <= 0.0) return hint;
+    // Per-job coin from (seed, job_id) only: for a fixed p the corrupted
+    // set is the same across runs/threads, and as p grows the sets nest.
+    std::uint64_t state =
+        schedule_->config().seed ^ (job.job_id * 0xC2B2AE3D27D4EB4FULL);
+    const std::uint64_t coin = common::split_mix64(state);
+    const double u = static_cast<double>(coin >> 11) * 0x1.0p-53;
+    if (u >= p) return hint;
+    return hash_->category(job);  // decayed: the robust AdaptiveHash floor
+  }
+
+ private:
+  CategoryProviderPtr inner_;
+  std::shared_ptr<StalenessSchedule> schedule_;
+  std::shared_ptr<const sim::SimClock> clock_;
+  CategoryProviderPtr hash_;
+};
+
+}  // namespace
+
+CategoryProviderPtr make_stale_provider(
+    CategoryProviderPtr inner, std::shared_ptr<StalenessSchedule> schedule,
+    std::shared_ptr<const sim::SimClock> clock) {
+  return std::make_shared<StaleProvider>(std::move(inner), std::move(schedule),
+                                         std::move(clock));
+}
+
+}  // namespace byom::core

@@ -1,0 +1,89 @@
+// Model-staleness dynamics (paper section 6): how much of the savings
+// survives as the deployed category model ages, and how retraining cadence
+// restores it.
+//
+// A StalenessSchedule describes the deployment's retraining policy on the
+// *virtual* timeline: the model serving hints was trained at `epoch_start`
+// and is retrained (refreshed on current data) every `retrain_period`
+// seconds. Between retrains the model's view of the workload drifts; we
+// model that drift as a per-hint corruption hazard that grows with the
+// model's age — a hint consumed at age A is replaced by the robust hash
+// category (the AdaptiveHash floor Algorithm 1 degrades to anyway) with
+// probability 1 - 2^(-A / half_life). A retrain resets the age to zero.
+//
+// The event-driven simulator schedules one retrain event per period on the
+// shared sim::SimClock (SimClock::kRetrainPriority, so a retrain at time t
+// governs every hint consumed at t); each event calls on_retrain(), which
+// swaps the schedule to the fresh epoch. make_stale_provider() decorates a
+// category provider so hints read the schedule's current age through the
+// clock.
+//
+// Determinism contract: the per-job corruption coin derives only from
+// (seed, job_id), so for a fixed decision time the set of corrupted jobs is
+// *nested* as the corruption probability grows — sweeps over retrain_period
+// degrade smoothly and reproducibly toward the AdaptiveHash floor.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/category_provider.h"
+#include "sim/sim_clock.h"
+
+namespace byom::core {
+
+struct StalenessConfig {
+  // Virtual time the deployed model was trained (typically the test trace's
+  // start — the model saw everything up to the train/test split).
+  double epoch_start = 0.0;
+  // Seconds between retrains; <= 0 means the model is never retrained and
+  // ages for the whole run.
+  double retrain_period = 0.0;
+  // Hint-accuracy half-life while stale: at age == half_life, half the
+  // hints have decayed to the hash floor. <= 0 disables decay entirely.
+  double half_life = 21600.0;
+  // Seed for the per-job corruption coin.
+  std::uint64_t seed = 0;
+  // Category count of the robust hash fallback (must match the policy's N).
+  int num_categories = 15;
+};
+
+class StalenessSchedule {
+ public:
+  explicit StalenessSchedule(const StalenessConfig& config);
+
+  const StalenessConfig& config() const { return config_; }
+
+  // Start of the epoch currently in force (advanced by on_retrain()).
+  double current_epoch_start() const { return current_epoch_start_; }
+  // Model age at virtual time t under the current epoch (clamped >= 0).
+  double age(double t) const;
+  // Probability a hint consumed at virtual time t has decayed:
+  // 1 - 2^(-age(t) / half_life); 0 when half_life <= 0.
+  double corruption_probability(double t) const;
+
+  // Retrain instants in (begin, end] — what the simulator turns into
+  // retrain events. Empty when retrain_period <= 0.
+  std::vector<double> retrain_times(double begin, double end) const;
+
+  // Retrain-event hook: swaps in the model freshly trained at `t`. Times
+  // must be non-decreasing (the event timeline guarantees this).
+  void on_retrain(double t);
+  std::uint64_t retrain_count() const { return retrain_count_; }
+
+ private:
+  StalenessConfig config_;
+  double current_epoch_start_ = 0.0;
+  std::uint64_t retrain_count_ = 0;
+};
+
+// Decorates `inner` with the schedule's staleness dynamics, reading the
+// decision time from `clock` (the simulator's virtual time source). Hints
+// the inner provider declines pass through untouched — staleness models a
+// wrong hint, not a missing one.
+CategoryProviderPtr make_stale_provider(
+    CategoryProviderPtr inner, std::shared_ptr<StalenessSchedule> schedule,
+    std::shared_ptr<const sim::SimClock> clock);
+
+}  // namespace byom::core

@@ -27,23 +27,6 @@ AdaptiveCategoryPolicy::AdaptiveCategoryPolicy(
   fallback_ = core::make_hash_provider(config_.num_categories);
 }
 
-AdaptiveCategoryPolicy::AdaptiveCategoryPolicy(std::string name,
-                                               CategoryFn category_fn,
-                                               const AdaptiveConfig& config)
-    : AdaptiveCategoryPolicy(
-          std::move(name),
-          [&]() -> core::CategoryProviderPtr {
-            if (!category_fn) {
-              throw std::invalid_argument(
-                  "AdaptiveCategoryPolicy: null category function");
-            }
-            return core::make_function_provider(
-                "fn", [fn = std::move(category_fn)](const trace::Job& job) {
-                  return std::optional<int>(fn(job));
-                });
-          }(),
-          config) {}
-
 double AdaptiveCategoryPolicy::spillover_percentage(double t) const {
   // P(X, t) = sum_i SPILLOVER_TCIO(x_i, t) / sum_i DEV_i * TCIO_HDD_i(t),
   // where TCIO_HDD(t) is the TCIO accrued on HDD up to t and spillover
@@ -128,23 +111,6 @@ void AdaptiveCategoryPolicy::on_placed(const trace::Job& job,
   h.spill_fraction = outcome.spill_fraction;
   h.scheduled_ssd = outcome.scheduled == Device::kSsd;
   history_.push_back(h);
-}
-
-AdaptiveCategoryPolicy::CategoryFn hash_category_fn(int num_categories) {
-  auto provider = core::make_hash_provider(num_categories);
-  return [provider](const trace::Job& job) {
-    return provider->category(job).value_or(0);
-  };
-}
-
-AdaptiveCategoryPolicy::CategoryFn hinted_category_fn(
-    std::shared_ptr<const CategoryHints> hints,
-    AdaptiveCategoryPolicy::CategoryFn fallback) {
-  auto provider = core::make_precomputed_provider(std::move(hints));
-  return [provider, fallback = std::move(fallback)](const trace::Job& job) {
-    if (const auto hint = provider->category(job)) return *hint;
-    return fallback ? fallback(job) : 0;
-  };
 }
 
 }  // namespace byom::policy

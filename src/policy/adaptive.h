@@ -19,13 +19,11 @@
 // and, when the provider declines (no model, hint not ready, deadline
 // missed), falls back to the robust hash category — Algorithm 1 never
 // blocks on inference. Providers compose (fallback chains, precomputed
-// tables, async serving, noise injection) without touching this file.
-//
-// DEPRECATED: the CategoryFn-based constructor and the hash_category_fn /
-// hinted_category_fn helpers are thin shims over the provider API, kept for
-// source compatibility. New code should construct a CategoryProvider
-// (core/category_provider.h, serving/placement_service.h) instead; the
-// shims will be removed once nothing references them.
+// tables, async serving, staleness decay, noise injection) without touching
+// this file. (The pre-provider CategoryFn shims — a function-taking
+// constructor, hash_category_fn, hinted_category_fn — are gone; build a
+// provider with core::make_function_provider / make_hash_provider /
+// make_precomputed_provider instead.)
 //
 // NOTE on the published pseudocode: Algorithm 1 lines 7-8 print
 // `ACT = max(N-1, ACT+1)` for low spillover and `ACT = min(1, ACT-1)` for
@@ -73,17 +71,10 @@ struct AdaptiveDecisionRecord {
 
 class AdaptiveCategoryPolicy final : public PlacementPolicy {
  public:
-  using CategoryFn = std::function<int(const trace::Job&)>;
-
   // `provider` yields the job's importance category in [0, N-1]; when it
   // declines, the policy degrades to the hash category (robust fallback).
   AdaptiveCategoryPolicy(std::string name,
                          core::CategoryProviderPtr provider,
-                         const AdaptiveConfig& config = {});
-
-  // DEPRECATED shim: wraps `category_fn` in a function provider. Prefer the
-  // CategoryProvider constructor.
-  AdaptiveCategoryPolicy(std::string name, CategoryFn category_fn,
                          const AdaptiveConfig& config = {});
 
   std::string name() const override { return name_; }
@@ -126,16 +117,5 @@ class AdaptiveCategoryPolicy final : public PlacementPolicy {
   int last_category_ = 0;
   std::uint64_t provider_fallbacks_ = 0;
 };
-
-// DEPRECATED shim over core::make_hash_provider: uniform hash of the job
-// key onto [1, N-1] (the Adaptive Hash ablation).
-AdaptiveCategoryPolicy::CategoryFn hash_category_fn(int num_categories);
-
-// DEPRECATED shim over core::make_precomputed_provider +
-// core::make_fallback_chain: jobs found in `hints` use the batched
-// prediction; anything else falls back to `fallback` (0 when null).
-AdaptiveCategoryPolicy::CategoryFn hinted_category_fn(
-    std::shared_ptr<const CategoryHints> hints,
-    AdaptiveCategoryPolicy::CategoryFn fallback);
 
 }  // namespace byom::policy

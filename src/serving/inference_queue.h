@@ -27,6 +27,9 @@ struct InferenceRequest {
   // submission context that created it.
   trace::Job job;
   std::chrono::steady_clock::time_point enqueued_at{};
+  // Virtual submission time (sim::SimClock seconds); only meaningful when
+  // the owning PlacementService runs in virtual-time mode.
+  double virtual_enqueued_at = 0.0;
 };
 
 class InferenceRequestQueue {

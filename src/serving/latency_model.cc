@@ -1,0 +1,72 @@
+#include "serving/latency_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace byom::serving {
+
+namespace {
+
+class ZeroLatencyModel final : public LatencyModel {
+ public:
+  std::string name() const override { return "zero"; }
+  double latency_seconds(const trace::Job&) const override { return 0.0; }
+};
+
+class FixedLatencyModel final : public LatencyModel {
+ public:
+  explicit FixedLatencyModel(double seconds) : seconds_(seconds) {
+    if (seconds < 0.0) {
+      throw std::invalid_argument("make_fixed_latency_model: negative");
+    }
+  }
+  std::string name() const override { return "fixed"; }
+  double latency_seconds(const trace::Job&) const override { return seconds_; }
+
+ private:
+  double seconds_;
+};
+
+class ExponentialLatencyModel final : public LatencyModel {
+ public:
+  ExponentialLatencyModel(double mean_seconds, std::uint64_t seed)
+      : mean_(mean_seconds), seed_(seed) {
+    if (mean_seconds < 0.0) {
+      throw std::invalid_argument("make_exponential_latency_model: negative");
+    }
+  }
+  std::string name() const override { return "exponential"; }
+  double latency_seconds(const trace::Job& job) const override {
+    if (mean_ <= 0.0) return 0.0;
+    // Per-job uniform draw from (seed, job_id) only — same job, same
+    // latency, no matter which cell or thread asks.
+    std::uint64_t state = seed_ ^ (job.job_id * 0x9E3779B97F4A7C15ULL);
+    const std::uint64_t bits = common::split_mix64(state);
+    double u = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+    if (u <= 1e-300) u = 1e-300;
+    return -mean_ * std::log(u);
+  }
+
+ private:
+  double mean_;
+  std::uint64_t seed_;
+};
+
+}  // namespace
+
+LatencyModelPtr make_zero_latency_model() {
+  return std::make_shared<const ZeroLatencyModel>();
+}
+
+LatencyModelPtr make_fixed_latency_model(double seconds) {
+  return std::make_shared<const FixedLatencyModel>(seconds);
+}
+
+LatencyModelPtr make_exponential_latency_model(double mean_seconds,
+                                               std::uint64_t seed) {
+  return std::make_shared<const ExponentialLatencyModel>(mean_seconds, seed);
+}
+
+}  // namespace byom::serving

@@ -22,6 +22,10 @@ PlacementService::PlacementService(
   if (config_.fallback_num_categories < 2) {
     throw std::invalid_argument("PlacementService: fallback N >= 2 required");
   }
+  if (config_.clock && config_.num_threads != 0) {
+    throw std::invalid_argument(
+        "PlacementService: virtual-time mode requires num_threads == 0");
+  }
   workers_.reserve(config_.num_threads);
   for (std::size_t i = 0; i < config_.num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -44,11 +48,30 @@ bool PlacementService::enqueue(const trace::Job& job) {
   InferenceRequest request;
   request.job = job;
   request.enqueued_at = std::chrono::steady_clock::now();
+  if (virtual_time()) {
+    request.virtual_enqueued_at = config_.clock->now();
+  }
   if (!queue_.try_push(std::move(request))) {
     dropped_.fetch_add(1);
     return false;
   }
   enqueued_.fetch_add(1);
+  if (virtual_time() && config_.virtual_flush_deadline > 0.0 &&
+      !config_.drain_on_lookup && !flush_event_pending_) {
+    // The batcher's flush deadline, in virtual time: even if no consumer
+    // ever asks, whatever is queued gets computed and delivered by then.
+    // Only armed when lookups do NOT drain — when they do (the simulator's
+    // regime), every request is computed at its consumer's decision and the
+    // flush event would just fire on an empty queue, one wasted heap event
+    // per arrival.
+    flush_event_pending_ = true;
+    config_.clock->schedule(
+        config_.clock->now() + config_.virtual_flush_deadline,
+        sim::SimClock::kHintReadyPriority, [this] {
+          flush_event_pending_ = false;
+          batcher_.drain();
+        });
+  }
   return true;
 }
 
@@ -68,7 +91,53 @@ std::optional<int> PlacementService::lookup(std::uint64_t job_id) const {
   return it->second;
 }
 
+std::optional<int> PlacementService::wait_for_virtual(std::uint64_t job_id) {
+  const double now = config_.clock->now();
+  auto hint = lookup(job_id);
+  if (!hint && config_.drain_on_lookup) {
+    // Compute everything queued so far; results land in the published table
+    // (ready now) or the in-flight table (ready in the future).
+    batcher_.drain();
+    hint = lookup(job_id);
+  }
+  if (hint) {
+    // Ready at or before the lookup: consumed on time.
+    hits_.fetch_add(1);
+    on_time_.fetch_add(1);
+    return hint;
+  }
+  {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    const auto it = in_flight_.find(job_id);
+    if (it != in_flight_.end()) {
+      if (it->second.ready_time <= now + config_.virtual_request_deadline) {
+        // The consumer's wait budget covers the remaining latency: consume
+        // the hint "mid-wait". The scheduled hint-ready event finds it
+        // already published and does nothing.
+        const InFlightHint ready = it->second;
+        in_flight_.erase(it);
+        results_.emplace(job_id, ready.category);
+        ++completed_;
+        const double latency_ms = ready.virtual_latency * 1000.0;
+        total_latency_ms_ += latency_ms;
+        max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
+        hits_.fetch_add(1);
+        on_time_.fetch_add(1);
+        return ready.category;
+      }
+      // The hint cannot make the deadline: Algorithm 1 falls back now; the
+      // hint-ready event will deliver (and count) it late.
+      it->second.missed = true;
+    }
+  }
+  misses_.fetch_add(1);
+  return std::nullopt;
+}
+
 std::optional<int> PlacementService::wait_for(std::uint64_t job_id) {
+  if (virtual_time()) {
+    return wait_for_virtual(job_id);
+  }
   if (deterministic()) {
     auto hint = lookup(job_id);
     if (!hint && config_.drain_on_lookup) {
@@ -97,6 +166,32 @@ std::optional<int> PlacementService::wait_for(std::uint64_t job_id) {
   return std::nullopt;
 }
 
+void PlacementService::publish_virtual(std::uint64_t job_id, int category,
+                                       double virtual_latency) {
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  if (!results_.emplace(job_id, category).second) return;
+  ++completed_;
+  const double latency_ms = virtual_latency * 1000.0;
+  total_latency_ms_ += latency_ms;
+  max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
+}
+
+void PlacementService::deliver_virtual(std::uint64_t job_id) {
+  // Hint-ready event: move the in-flight hint into the published table. If
+  // the consumer already took it mid-wait (or it was never computed) there
+  // is nothing to do.
+  InFlightHint hint;
+  {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    const auto it = in_flight_.find(job_id);
+    if (it == in_flight_.end()) return;
+    hint = it->second;
+    in_flight_.erase(it);
+  }
+  publish_virtual(job_id, hint.category, hint.virtual_latency);
+  if (hint.missed) late_.fetch_add(1);
+}
+
 void PlacementService::execute_batch(std::vector<InferenceRequest>&& batch) {
   // One registry-grouped predict_batch pass — the exact code path offline
   // precomputation uses, which is what makes served hints bit-identical to
@@ -106,6 +201,34 @@ void PlacementService::execute_batch(std::vector<InferenceRequest>&& batch) {
   for (const auto& request : batch) jobs.push_back(request.job);
   const core::CategoryHints hints = core::precompute_categories(
       *registry_, jobs, config_.fallback_num_categories);
+
+  if (virtual_time()) {
+    const double now = config_.clock->now();
+    for (const auto& request : batch) {
+      const std::uint64_t job_id = request.job.job_id;
+      const double latency =
+          config_.latency_model
+              ? config_.latency_model->latency_seconds(request.job)
+              : 0.0;
+      const double ready = request.virtual_enqueued_at + latency;
+      if (ready <= now) {
+        publish_virtual(job_id, hints.at(job_id), latency);
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(results_mutex_);
+        if (results_.count(job_id) || in_flight_.count(job_id)) {
+          continue;  // duplicate request for an already-served job
+        }
+        in_flight_.emplace(job_id,
+                           InFlightHint{hints.at(job_id), ready, latency,
+                                        /*missed=*/false});
+      }
+      config_.clock->schedule(ready, sim::SimClock::kHintReadyPriority,
+                              [this, job_id] { deliver_virtual(job_id); });
+    }
+    return;
+  }
 
   const auto now = std::chrono::steady_clock::now();
   {
@@ -136,6 +259,8 @@ ServingStats PlacementService::stats() const {
   stats.dropped = dropped_.load();
   stats.hits = hits_.load();
   stats.misses = misses_.load();
+  stats.on_time = on_time_.load();
+  stats.late = late_.load();
   stats.batches = batcher_.batches();
   stats.size_flushes = batcher_.size_flushes();
   stats.deadline_flushes = batcher_.deadline_flushes();

@@ -12,7 +12,7 @@
 //                                                              |
 //   provider()->category(job) <---- published hint table <-----+
 //
-// Two execution modes:
+// Three execution modes:
 //   * num_threads >= 1: worker threads drive the batcher; consumers wait up
 //     to `request_deadline` for an in-flight hint before declining (a miss,
 //     counted — the consumer's fallback chain takes over).
@@ -20,6 +20,16 @@
 //     timing: provider lookups drain every queued request synchronously, so
 //     every request "meets its deadline" and results are bit-reproducible —
 //     the mode simulation cells and tests use.
+//   * num_threads == 0 with a sim::SimClock (virtual-time mode): timestamps
+//     come from the injected clock and every request is charged
+//     `latency_model->latency_seconds(job)` of virtual delay, so hints race
+//     the placement decisions replayed by the event-driven simulator. A
+//     consumer waits up to `virtual_request_deadline` virtual seconds for
+//     its hint; a hint that cannot make that deadline is a miss (the
+//     consumer degrades to its fallback, per Algorithm 1) and is delivered
+//     later by a hint-ready event on the clock, counted `late`. With the
+//     zero-latency model every hint is on time and results are bit-identical
+//     to plain deterministic mode.
 //
 // Category values are produced by the same registry-grouped
 // CategoryModel::predict_batch pass as the offline path
@@ -35,12 +45,15 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/byom.h"
 #include "core/category_provider.h"
 #include "serving/batcher.h"
 #include "serving/inference_queue.h"
+#include "serving/latency_model.h"
+#include "sim/sim_clock.h"
 
 namespace byom::serving {
 
@@ -63,6 +76,26 @@ struct PlacementServiceConfig {
   // queue — pending requests never complete, so every lookup declines.
   // Exists to test deadline-miss/fallback accounting deterministically.
   bool drain_on_lookup = true;
+
+  // ---- virtual-time mode (requires num_threads == 0) ----
+  // The shared virtual time source. Setting it switches the deterministic
+  // mode to virtual time: enqueue timestamps, latencies, and deadlines are
+  // all expressed in clock seconds.
+  std::shared_ptr<sim::SimClock> clock;
+  // Per-request serving delay (queueing + batching + inference). Null means
+  // zero latency.
+  LatencyModelPtr latency_model;
+  // Consumer wait budget in virtual seconds: a hint ready within this much
+  // of the lookup is consumed on time; anything slower is a miss and a late
+  // delivery. The virtual analogue of `request_deadline`.
+  double virtual_request_deadline = 0.0;
+  // Batcher flush deadline in virtual seconds: requests still queued this
+  // long after submission are force-flushed by a clock event, so hints for
+  // consumers that never ask still reach the results table. Only armed
+  // when drain_on_lookup is false — when lookups drain, every request is
+  // computed at its consumer's decision and the event would be a no-op.
+  // <= 0 disables the flush event.
+  double virtual_flush_deadline = 0.0;
 };
 
 // Aggregate serving counters (all monotonic).
@@ -73,6 +106,13 @@ struct ServingStats {
   std::uint64_t hits = 0;       // provider lookups answered with a hint
   std::uint64_t misses = 0;     // provider lookups that declined (deadline
                                 // missed or never requested) -> fallback
+  // Virtual-time mode hint timeliness: a hint is `on_time` when its
+  // consumer got it within the virtual deadline, `late` when it was
+  // delivered by a clock event after its consumer had already fallen back.
+  // When every request is consumed exactly once (the simulator's regime),
+  // on_time + late + dropped accounts for every submitted request.
+  std::uint64_t on_time = 0;
+  std::uint64_t late = 0;
   std::uint64_t batches = 0;
   std::uint64_t size_flushes = 0;
   std::uint64_t deadline_flushes = 0;
@@ -118,11 +158,26 @@ class PlacementService {
 
   ServingStats stats() const;
   bool deterministic() const { return config_.num_threads == 0; }
+  bool virtual_time() const { return config_.clock != nullptr; }
   std::size_t pending_requests() const { return queue_.size(); }
   const PlacementServiceConfig& config() const { return config_; }
 
  private:
+  // A computed hint whose virtual ready time is still in the future.
+  struct InFlightHint {
+    int category = 0;
+    double ready_time = 0.0;
+    double virtual_latency = 0.0;
+    // Consumer already declined this hint (deadline exceeded): deliver
+    // counts it late.
+    bool missed = false;
+  };
+
   void execute_batch(std::vector<InferenceRequest>&& batch);
+  void publish_virtual(std::uint64_t job_id, int category,
+                       double virtual_latency);
+  void deliver_virtual(std::uint64_t job_id);
+  std::optional<int> wait_for_virtual(std::uint64_t job_id);
   void worker_loop();
 
   const PlacementServiceConfig config_;
@@ -141,6 +196,13 @@ class PlacementService {
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> on_time_{0};
+  std::atomic<std::uint64_t> late_{0};
+
+  // Virtual-time mode state (single-threaded; guarded by results_mutex_ for
+  // consistency with the results table).
+  std::unordered_map<std::uint64_t, InFlightHint> in_flight_;
+  bool flush_event_pending_ = false;
 
   std::vector<std::thread> workers_;
 };

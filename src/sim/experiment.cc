@@ -24,6 +24,7 @@ const char* method_name(MethodId id) {
     case MethodId::kOracleTcio: return "OracleTCIO";
     case MethodId::kTrueCategory: return "TrueCategory";
     case MethodId::kAdaptiveServed: return "AdaptiveServed";
+    case MethodId::kAdaptiveServedLatency: return "AdaptiveServedLatency";
   }
   return "Unknown";
 }
@@ -71,6 +72,7 @@ void MethodFactory::warm(MethodId id) const {
     case MethodId::kAdaptiveRanking:
     case MethodId::kTrueCategory:
     case MethodId::kAdaptiveServed:
+    case MethodId::kAdaptiveServedLatency:
       shared_category_model();
       break;
     case MethodId::kMlBaseline: {
@@ -168,19 +170,92 @@ core::CategoryProviderPtr MethodFactory::make_provider(
 std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
     MethodId id, const trace::Trace& test, std::uint64_t ssd_capacity_bytes,
     const MakeOptions& options) const {
+  return make_context(id, test, ssd_capacity_bytes, options).policy;
+}
+
+PolicyContext MethodFactory::make_served_latency_context(
+    const trace::Trace& test, const policy::AdaptiveConfig& adaptive,
+    const MakeOptions& options) const {
+  PolicyContext context;
+  context.clock = std::make_shared<SimClock>();
+
+  auto registry = std::make_shared<core::ModelRegistry>();
+  registry->set_default_model(shared_category_model());
+
+  serving::PlacementServiceConfig config;
+  config.num_threads = 0;  // virtual-time mode is deterministic mode
+  config.queue_capacity = std::max<std::size_t>(1024, test.size());
+  config.max_batch = 256;
+  config.fallback_num_categories = adaptive.num_categories;
+  config.clock = context.clock;
+  config.latency_model =
+      options.hint_latency > 0.0
+          ? serving::make_exponential_latency_model(
+                options.hint_latency,
+                options.noise_seed ^ 0xA5A5A5A55A5A5A5AULL)
+          : serving::make_zero_latency_model();
+  config.virtual_request_deadline = options.hint_deadline;
+  // Unconsumed requests flush within one consumer deadline of submission.
+  config.virtual_flush_deadline = std::max(options.hint_deadline, 1e-3);
+  context.hint_service = std::make_shared<serving::PlacementService>(
+      std::move(registry), config);
+  // NOTE: no enqueue_all here — the event engine submits each request at
+  // its job's arrival event, which is what makes hints race decisions.
+
+  // Late or dropped hints decline, and AdaptiveCategoryPolicy degrades
+  // those decisions to its hash fallback — exactly Algorithm 1's graceful
+  // degradation; there is deliberately no synchronous model backstop.
+  core::CategoryProviderPtr provider =
+      serving::make_served_provider(context.hint_service);
+
+  if (options.retrain_period > 0.0) {
+    core::StalenessConfig staleness;
+    staleness.epoch_start = test.start_time();
+    staleness.retrain_period = options.retrain_period;
+    staleness.half_life = options.staleness_half_life > 0.0
+                              ? options.staleness_half_life
+                              : default_staleness_half_life_;
+    staleness.seed = options.noise_seed ^ 0x3C3C3C3CC3C3C3C3ULL;
+    staleness.num_categories = adaptive.num_categories;
+    context.staleness = std::make_shared<core::StalenessSchedule>(staleness);
+    provider = core::make_stale_provider(std::move(provider),
+                                         context.staleness, context.clock);
+  }
+
+  if (options.hint_noise > 0.0) {
+    provider = core::make_noisy_provider(std::move(provider),
+                                         options.hint_noise,
+                                         options.noise_seed,
+                                         adaptive.num_categories);
+  }
+  context.policy = std::make_unique<policy::AdaptiveCategoryPolicy>(
+      method_name(MethodId::kAdaptiveServedLatency), std::move(provider),
+      adaptive);
+  return context;
+}
+
+PolicyContext MethodFactory::make_context(MethodId id,
+                                          const trace::Trace& test,
+                                          std::uint64_t ssd_capacity_bytes,
+                                          const MakeOptions& options) const {
   const policy::AdaptiveConfig& adaptive =
       options.adaptive.has_value() ? *options.adaptive : adaptive_config_;
+  PolicyContext context;
   switch (id) {
     case MethodId::kFirstFit:
-      return std::make_unique<policy::FirstFitPolicy>();
+      context.policy = std::make_unique<policy::FirstFitPolicy>();
+      return context;
     case MethodId::kHeuristic:
-      return std::make_unique<policy::CacheSackPolicy>(train_.jobs(),
-                                                       ssd_capacity_bytes);
+      context.policy = std::make_unique<policy::CacheSackPolicy>(
+          train_.jobs(), ssd_capacity_bytes);
+      return context;
     case MethodId::kMlBaseline:
       // Copy the trained-once prototype: two GBDT regressors per sweep
       // instead of two per cell.
       warm(MethodId::kMlBaseline);
-      return std::make_unique<policy::LifetimeMlPolicy>(*ml_baseline_);
+      context.policy = std::make_unique<policy::LifetimeMlPolicy>(
+          *ml_baseline_);
+      return context;
     case MethodId::kAdaptiveHash:
     case MethodId::kAdaptiveRanking:
     case MethodId::kTrueCategory:
@@ -192,36 +267,53 @@ std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
                                       options.noise_seed,
                                       adaptive.num_categories);
       }
-      return std::make_unique<policy::AdaptiveCategoryPolicy>(
+      context.policy = std::make_unique<policy::AdaptiveCategoryPolicy>(
           method_name(id), std::move(provider), adaptive);
+      return context;
     }
+    case MethodId::kAdaptiveServedLatency:
+      return make_served_latency_context(test, adaptive, options);
     case MethodId::kOracleTco: {
       const auto solution = oracle::solve_greedy(
           test.jobs(), ssd_capacity_bytes, oracle::Objective::kTco,
           cost_model_);
-      return std::make_unique<policy::OracleReplayPolicy>(
+      context.policy = std::make_unique<policy::OracleReplayPolicy>(
           "OracleTCO", test.jobs(), solution);
+      return context;
     }
     case MethodId::kOracleTcio: {
       const auto solution = oracle::solve_greedy(
           test.jobs(), ssd_capacity_bytes, oracle::Objective::kTcio,
           cost_model_);
-      return std::make_unique<policy::OracleReplayPolicy>(
+      context.policy = std::make_unique<policy::OracleReplayPolicy>(
           "OracleTCIO", test.jobs(), solution);
+      return context;
     }
   }
-  throw std::invalid_argument("MethodFactory::make: unknown method");
+  throw std::invalid_argument("MethodFactory::make_context: unknown method");
 }
 
 SimResult run_method(const MethodFactory& factory, MethodId id,
                      const trace::Trace& test,
                      std::uint64_t ssd_capacity_bytes, bool record_outcomes) {
-  const auto policy = factory.make(id, test, ssd_capacity_bytes);
+  return run_method(factory, id, test, ssd_capacity_bytes, MakeOptions{},
+                    record_outcomes);
+}
+
+SimResult run_method(const MethodFactory& factory, MethodId id,
+                     const trace::Trace& test,
+                     std::uint64_t ssd_capacity_bytes,
+                     const MakeOptions& options, bool record_outcomes) {
+  const auto context =
+      factory.make_context(id, test, ssd_capacity_bytes, options);
   SimConfig config;
   config.ssd_capacity_bytes = ssd_capacity_bytes;
   config.rates = factory.cost_model().rates();
   config.record_outcomes = record_outcomes;
-  return simulate(test, *policy, config);
+  config.clock = context.clock;
+  config.hint_service = context.hint_service;
+  config.staleness = context.staleness;
+  return simulate(test, *context.policy, config);
 }
 
 }  // namespace byom::sim

@@ -5,9 +5,15 @@
 // Methods (paper section 5.1 "Methods Compared"):
 //   FirstFit, Heuristic, MLBaseline, AdaptiveHash, AdaptiveRanking,
 //   OracleTCO, OracleTCIO — plus TrueCategory (Figure 11's perfect-model
-//   variant of AdaptiveRanking) and AdaptiveServed (AdaptiveRanking whose
+//   variant of AdaptiveRanking), AdaptiveServed (AdaptiveRanking whose
 //   hints flow through the online serving loop, serving/placement_service.h,
-//   in deterministic mode: offline-batched vs online-served comparisons).
+//   in deterministic mode: offline-batched vs online-served comparisons),
+//   and AdaptiveServedLatency (the serving loop in virtual-time mode on the
+//   simulator's SimClock: hints race decisions under a pluggable
+//   LatencyModel, late hints degrade to the hash fallback, and an optional
+//   StalenessSchedule replays the paper's section-6 retraining-cadence
+//   dynamics). AdaptiveServedLatency cells need the clock/service wiring of
+//   make_context(); run_method() and ExperimentRunner do this for you.
 //
 // All adaptive methods construct their category source as a
 // core::CategoryProvider chain (core/category_provider.h); MakeOptions can
@@ -25,10 +31,13 @@
 #include "core/byom.h"
 #include "core/category_model.h"
 #include "core/category_provider.h"
+#include "core/staleness.h"
 #include "cost/cost_model.h"
 #include "policy/adaptive.h"
 #include "policy/lifetime_ml.h"
 #include "policy/policy.h"
+#include "serving/placement_service.h"
+#include "sim/sim_clock.h"
 #include "sim/simulator.h"
 #include "trace/generator.h"
 #include "trace/trace.h"
@@ -45,6 +54,7 @@ enum class MethodId {
   kOracleTcio,
   kTrueCategory,
   kAdaptiveServed,
+  kAdaptiveServedLatency,
 };
 
 const char* method_name(MethodId id);
@@ -65,8 +75,34 @@ struct MakeOptions {
   // around the method's provider chain (adaptive methods only). 0 disables.
   double hint_noise = 0.0;
   // Seed for the noise decorator; ExperimentRunner cells pass their
-  // deterministic per-cell seed here.
+  // deterministic per-cell seed here. Also seeds the latency and staleness
+  // draws of AdaptiveServedLatency cells.
   std::uint64_t noise_seed = 0;
+
+  // ---- AdaptiveServedLatency knobs (ignored by other methods) ----
+  // Mean serving latency in virtual seconds (exponentially distributed per
+  // request; 0 = instant hints, bit-identical to AdaptiveServed).
+  double hint_latency = 0.0;
+  // Consumer wait budget in virtual seconds: hints slower than this miss
+  // their decision and the policy degrades to the hash category.
+  double hint_deadline = 1.0;
+  // Model retraining cadence in virtual seconds; 0 disables staleness
+  // entirely, > 0 attaches a StalenessSchedule that decays hint accuracy
+  // toward the AdaptiveHash floor between retrains (paper section 6).
+  double retrain_period = 0.0;
+  // Hint-accuracy half-life while stale; 0 selects the factory default.
+  double staleness_half_life = 0.0;
+};
+
+// Everything one latency-aware simulation cell needs: the policy plus the
+// virtual-time machinery behind it. Pass clock/service/staleness into
+// SimConfig (run_method and ExperimentRunner::run do this) so the engine
+// drives hint delivery and retrains on the same timeline as the arrivals.
+struct PolicyContext {
+  std::unique_ptr<policy::PlacementPolicy> policy;
+  std::shared_ptr<SimClock> clock;
+  std::shared_ptr<serving::PlacementService> hint_service;
+  std::shared_ptr<core::StalenessSchedule> staleness;
 };
 
 // Trains/caches per-cluster artifacts and manufactures policies.
@@ -89,6 +125,14 @@ class MethodFactory {
   std::unique_ptr<policy::PlacementPolicy> make(
       MethodId id, const trace::Trace& test, std::uint64_t ssd_capacity_bytes,
       const MakeOptions& options) const;
+  // Same, returning the virtual-time context alongside the policy. For
+  // kAdaptiveServedLatency this is the only correct entry point (a bare
+  // make() yields a policy whose serving loop never sees time advance, so
+  // every hint misses); for every other method the extra fields are null
+  // and the policy is identical to make()'s.
+  PolicyContext make_context(MethodId id, const trace::Trace& test,
+                             std::uint64_t ssd_capacity_bytes,
+                             const MakeOptions& options) const;
 
   // Lazily trained category model (shared across makes; thread-safe, so
   // parallel experiment cells can share one factory).
@@ -121,16 +165,31 @@ class MethodFactory {
   void set_predicted_hints(std::shared_ptr<const policy::CategoryHints> hints);
   void set_true_hints(std::shared_ptr<const policy::CategoryHints> hints);
 
+  // Default hint-accuracy half-life for staleness schedules built from
+  // MakeOptions with staleness_half_life == 0 (seconds).
+  double default_staleness_half_life() const {
+    return default_staleness_half_life_;
+  }
+  void set_default_staleness_half_life(double seconds) {
+    default_staleness_half_life_ = seconds;
+  }
+
  private:
   // The provider chain for one adaptive method (before noise decoration).
   core::CategoryProviderPtr make_provider(
       MethodId id, const trace::Trace& test,
       const policy::AdaptiveConfig& adaptive) const;
+  // The virtual-time serving pipeline + optional staleness schedule of one
+  // kAdaptiveServedLatency cell.
+  PolicyContext make_served_latency_context(
+      const trace::Trace& test, const policy::AdaptiveConfig& adaptive,
+      const MakeOptions& options) const;
 
   trace::Trace train_;
   cost::CostModel cost_model_;
   core::CategoryModelConfig model_config_;
   policy::AdaptiveConfig adaptive_config_;
+  double default_staleness_half_life_ = 6.0 * 3600.0;
   std::shared_ptr<const policy::CategoryHints> predicted_hints_;
   std::shared_ptr<const policy::CategoryHints> true_hints_;
   mutable std::mutex model_mutex_;
@@ -141,10 +200,15 @@ class MethodFactory {
 };
 
 // Convenience: build policy for `id`, simulate `test` under the quota, and
-// return the result.
+// return the result. Wires the virtual-time context (clock, hint service,
+// staleness schedule) into the simulation automatically.
 SimResult run_method(const MethodFactory& factory, MethodId id,
                      const trace::Trace& test,
                      std::uint64_t ssd_capacity_bytes,
                      bool record_outcomes = false);
+SimResult run_method(const MethodFactory& factory, MethodId id,
+                     const trace::Trace& test,
+                     std::uint64_t ssd_capacity_bytes,
+                     const MakeOptions& options, bool record_outcomes = false);
 
 }  // namespace byom::sim

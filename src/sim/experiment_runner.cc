@@ -77,13 +77,18 @@ CellResult ExperimentRunner::run_cell(const ExperimentCell& cell) const {
   options.adaptive = cell.adaptive;
   options.hint_noise = cell.hint_noise;
   options.noise_seed = cell.seed;
-  const auto policy = cluster.factory->make(cell.method, *cluster.test,
-                                            out.capacity_bytes, options);
+  options.hint_latency = cell.hint_latency;
+  options.retrain_period = cell.retrain_period;
+  const auto context = cluster.factory->make_context(
+      cell.method, *cluster.test, out.capacity_bytes, options);
   SimConfig config;
   config.ssd_capacity_bytes = out.capacity_bytes;
   config.rates = cluster.factory->cost_model().rates();
   config.record_outcomes = cell.record_outcomes;
-  out.result = simulate(*cluster.test, *policy, config);
+  config.clock = context.clock;
+  config.hint_service = context.hint_service;
+  config.staleness = context.staleness;
+  out.result = simulate(*cluster.test, *context.policy, config);
   return out;
 }
 

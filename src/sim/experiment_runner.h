@@ -31,6 +31,12 @@ struct ExperimentCell {
   // Fraction of category hints flipped by a NoisyProvider seeded with
   // `seed` (adaptive methods only; noisy-hint sensitivity sweeps).
   double hint_noise = 0.0;
+  // Mean virtual serving latency for kAdaptiveServedLatency cells (seconds;
+  // 0 = instant hints). Latency draws are seeded from `seed`.
+  double hint_latency = 0.0;
+  // Retraining cadence for kAdaptiveServedLatency cells (seconds; 0 = no
+  // staleness): the paper's section-6 savings-vs-cadence sweep axis.
+  double retrain_period = 0.0;
   bool record_outcomes = false;
 };
 

@@ -1,0 +1,49 @@
+#include "sim/sim_clock.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace byom::sim {
+
+std::uint64_t SimClock::schedule(double time, int priority, EventFn fn) {
+  if (!fn) {
+    throw std::invalid_argument("SimClock::schedule: null event function");
+  }
+  Event event;
+  event.time = time < now_ ? now_ : time;
+  event.priority = priority;
+  event.seq = next_seq_++;
+  event.fn = std::move(fn);
+  const std::uint64_t seq = event.seq;
+  heap_.push(std::move(event));
+  return seq;
+}
+
+bool SimClock::run_next() {
+  if (heap_.empty()) return false;
+  // Copy out before popping: the event may schedule new events.
+  Event event = heap_.top();
+  heap_.pop();
+  advance_to(event.time);
+  ++processed_;
+  event.fn();
+  return true;
+}
+
+std::size_t SimClock::run_until(double time) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().time <= time) {
+    run_next();
+    ++executed;
+  }
+  advance_to(time);
+  return executed;
+}
+
+std::size_t SimClock::run_all() {
+  std::size_t executed = 0;
+  while (run_next()) ++executed;
+  return executed;
+}
+
+}  // namespace byom::sim

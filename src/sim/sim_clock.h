@@ -1,0 +1,94 @@
+// SimClock — the virtual time source of the event-driven simulation core.
+//
+// The simulator, the serving pipeline, and the staleness machinery all share
+// one injectable clock instead of reading wall time: arrivals, hint-ready
+// deliveries, batcher flushes, and model retrains are events on a single
+// virtual timeline, so a hint produced by the serving loop can genuinely
+// arrive *after* the placement decision that wanted it, and the whole run
+// stays bit-reproducible regardless of host speed or thread count.
+//
+// Determinism contract: events execute in (time, priority, sequence) order.
+// `priority` breaks ties at equal timestamps between event kinds (capacity
+// releases before retrains before hint deliveries before arrivals — the
+// order the synchronous reference simulator implies), and the monotonically
+// increasing sequence number breaks the remaining ties by schedule order.
+// Nothing about execution depends on wall-clock time or scheduling jitter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace byom::sim {
+
+class SimClock {
+ public:
+  using EventFn = std::function<void()>;
+
+  // Tie-break ranks for events scheduled at the same virtual time. Lower
+  // runs first. The ordering mirrors the synchronous simulator: capacity
+  // released at t is visible to a decision at t; a retrain at t governs
+  // hints consumed at t; a hint ready at exactly t reaches a decision at t.
+  enum EventPriority : int {
+    kReleasePriority = 0,
+    kRetrainPriority = 1,
+    kHintReadyPriority = 2,
+    kArrivalPriority = 3,
+    kDefaultPriority = 4,
+  };
+
+  double now() const { return now_; }
+
+  // Moves virtual time forward; moving backwards is a no-op (time is
+  // monotonic by construction).
+  void advance_to(double time) {
+    if (time > now_) now_ = time;
+  }
+
+  // Schedules `fn` at virtual `time` (clamped to now() — an event scheduled
+  // in the past fires "immediately", at the current time). Returns the
+  // event's sequence number.
+  std::uint64_t schedule(double time, int priority, EventFn fn);
+  std::uint64_t schedule(double time, EventFn fn) {
+    return schedule(time, kDefaultPriority, std::move(fn));
+  }
+
+  // Pops and runs the earliest pending event, advancing now() to its time.
+  // Returns false when no events are pending.
+  bool run_next();
+
+  // Runs every event with time <= `time` (in order), then advances now()
+  // to `time`. Returns the number of events executed.
+  std::size_t run_until(double time);
+
+  // Runs events until none are pending (events may schedule further
+  // events). Returns the number executed.
+  std::size_t run_all();
+
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time = 0.0;
+    int priority = kDefaultPriority;
+    std::uint64_t seq = 0;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace byom::sim

@@ -3,20 +3,166 @@
 #include <algorithm>
 #include <queue>
 
+#include "core/staleness.h"
+#include "serving/placement_service.h"
+
 namespace byom::sim {
 
 namespace {
 
-struct Release {
-  double time;
-  std::uint64_t bytes;
-  bool operator>(const Release& other) const { return time > other.time; }
+// One job's arrival: capacity releases due at or before this instant have
+// already fired (kReleasePriority < kArrivalPriority), so the policy sees
+// exactly the storage view the synchronous replay computed.
+struct Engine {
+  const SimConfig* config = nullptr;
+  const cost::CostModel* model = nullptr;
+  policy::PlacementPolicy* policy = nullptr;
+  SimClock* clock = nullptr;
+  SimResult* result = nullptr;
+  std::uint64_t ssd_used = 0;
+
+  void on_arrival(const trace::Job& job) {
+    if (config->hint_service) {
+      // The online submit path: the inference request enters the serving
+      // queue at submission time and races the decision below.
+      config->hint_service->enqueue(job);
+    }
+
+    policy::StorageView view;
+    view.now = job.arrival_time;
+    view.ssd_capacity_bytes = config->ssd_capacity_bytes;
+    view.ssd_used_bytes = ssd_used;
+
+    const policy::Device decision = policy->decide(job, view);
+
+    policy::PlacementOutcome outcome;
+    outcome.scheduled = decision;
+    double ssd_share = 0.0;
+    if (decision == policy::Device::kSsd) {
+      const std::uint64_t free_bytes = view.ssd_free_bytes();
+      const std::uint64_t placed = std::min(job.peak_bytes, free_bytes);
+      ssd_share = job.peak_bytes > 0
+                      ? static_cast<double>(placed) /
+                            static_cast<double>(job.peak_bytes)
+                      : 0.0;
+      outcome.spill_fraction = 1.0 - ssd_share;
+
+      // Early eviction (mu + sigma TTL rule of the ML baseline).
+      const double ttl = policy->eviction_ttl(job);
+      double release_time = job.end_time();
+      if (ttl > 0.0 && job.arrival_time + ttl < release_time) {
+        release_time = job.arrival_time + ttl;
+      }
+      outcome.ssd_time_share =
+          job.lifetime > 0.0
+              ? std::clamp((release_time - job.arrival_time) / job.lifetime,
+                           0.0, 1.0)
+              : 1.0;
+
+      if (placed > 0) {
+        ssd_used += placed;
+        clock->schedule(release_time, SimClock::kReleasePriority,
+                        [this, placed] {
+                          ssd_used -= std::min(ssd_used, placed);
+                        });
+        result->peak_ssd_used_bytes =
+            std::max(result->peak_ssd_used_bytes, ssd_used);
+      }
+      ++result->jobs_scheduled_ssd;
+    }
+
+    policy->on_placed(job, outcome);
+
+    const auto inputs = job.cost_inputs();
+    result->tco_all_hdd += job.cost_hdd;
+    result->tcio_all_hdd_seconds += model->tcio_seconds_hdd(inputs);
+    if (decision == policy::Device::kSsd) {
+      result->tco_actual +=
+          model->cost_mixed(inputs, ssd_share, outcome.ssd_time_share);
+      result->tcio_actual_seconds +=
+          model->tcio_seconds_mixed(inputs, ssd_share, outcome.ssd_time_share);
+    } else {
+      result->tco_actual += job.cost_hdd;
+      result->tcio_actual_seconds += model->tcio_seconds_hdd(inputs);
+    }
+
+    if (config->record_outcomes) {
+      result->outcomes.push_back({job.job_id, decision,
+                                  outcome.spill_fraction,
+                                  outcome.ssd_time_share});
+    }
+  }
 };
 
 }  // namespace
 
 SimResult simulate(const trace::Trace& trace, policy::PlacementPolicy& policy,
                    const SimConfig& config) {
+  const cost::CostModel model(config.rates);
+  SimResult result;
+  result.jobs_total = trace.size();
+  if (config.record_outcomes) result.outcomes.reserve(trace.size());
+
+  // Run on the injected clock (shared with the serving pipeline and the
+  // staleness schedule) or a private one for plain replays.
+  SimClock local_clock;
+  SimClock* clock = config.clock ? config.clock.get() : &local_clock;
+
+  Engine engine;
+  engine.config = &config;
+  engine.model = &model;
+  engine.policy = &policy;
+  engine.clock = clock;
+  engine.result = &result;
+
+  // Retrain events: one per period across the replayed window. A retrain at
+  // time t swaps the fresh model in before any decision at t
+  // (kRetrainPriority < kArrivalPriority).
+  if (config.staleness) {
+    core::StalenessSchedule* schedule = config.staleness.get();
+    for (const double t :
+         schedule->retrain_times(trace.start_time(), trace.end_time())) {
+      clock->schedule(t, SimClock::kRetrainPriority, [schedule, &result, t] {
+        schedule->on_retrain(t);
+        ++result.retrain_events;
+      });
+    }
+  }
+
+  // The timeline merges two time-ordered event streams: the trace (already
+  // sorted by arrival; trace order breaks ties) and the clock's heap
+  // (releases, retrains, hint-ready deliveries). Every non-arrival event
+  // kind outranks arrivals at equal times (SimClock::EventPriority), which
+  // is exactly run_until's inclusive semantics — so consuming arrivals
+  // straight from the trace is equivalent to heaping them, without paying
+  // per-job heap traffic on the hot path.
+  for (const trace::Job& job : trace.jobs()) {
+    clock->run_until(job.arrival_time);
+    engine.on_arrival(job);
+  }
+
+  // Drive the timeline to exhaustion: releases, retrains, and hint-ready
+  // deliveries past the last arrival still fire (late-hint accounting).
+  clock->run_all();
+
+  if (config.hint_service) {
+    const serving::ServingStats stats = config.hint_service->stats();
+    result.hints_on_time = stats.on_time;
+    result.hints_late = stats.late;
+    result.hints_dropped = stats.dropped;
+  }
+  return result;
+}
+
+SimResult simulate_synchronous(const trace::Trace& trace,
+                               policy::PlacementPolicy& policy,
+                               const SimConfig& config) {
+  struct Release {
+    double time;
+    std::uint64_t bytes;
+    bool operator>(const Release& other) const { return time > other.time; }
+  };
+
   const cost::CostModel model(config.rates);
   SimResult result;
   result.jobs_total = trace.size();
@@ -52,7 +198,6 @@ SimResult simulate(const trace::Trace& trace, policy::PlacementPolicy& policy,
                       : 0.0;
       outcome.spill_fraction = 1.0 - ssd_share;
 
-      // Early eviction (mu + sigma TTL rule of the ML baseline).
       const double ttl = policy.eviction_ttl(job);
       double release_time = job.end_time();
       if (ttl > 0.0 && job.arrival_time + ttl < release_time) {

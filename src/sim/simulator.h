@@ -2,14 +2,35 @@
 // replays a trace against a placement policy under an SSD capacity quota.
 // "If a job is placed on SSD but only partially fits, the remaining portion
 // of the job spills over to HDD after filling the available SSD capacity."
+//
+// The simulation core runs on a virtual clock (sim/sim_clock.h): job
+// arrivals, SSD capacity releases, hint-ready deliveries from the serving
+// pipeline, and model retrains are all events on one timeline. That is what
+// lets a hint produced by serving/PlacementService arrive *after* the
+// placement decision that wanted it — the policy then degrades that one
+// decision to its hash fallback, exactly as Algorithm 1 prescribes — and
+// what drives the model-staleness dynamics of the paper's section 6.
+// With zero hint latency and no staleness schedule the event engine is
+// bit-identical to the synchronous reference replay (simulate_synchronous),
+// which is kept as the regression oracle.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cost/cost_model.h"
 #include "policy/policy.h"
+#include "sim/sim_clock.h"
 #include "trace/trace.h"
+
+namespace byom::core {
+class StalenessSchedule;  // core/staleness.h
+}  // namespace byom::core
+
+namespace byom::serving {
+class PlacementService;  // serving/placement_service.h
+}  // namespace byom::serving
 
 namespace byom::sim {
 
@@ -18,6 +39,18 @@ struct SimConfig {
   cost::Rates rates;
   // Record one JobOutcome per job (needed by scatter/series benches).
   bool record_outcomes = false;
+
+  // The virtual clock shared with the serving pipeline and the staleness
+  // schedule. Null means the engine runs a private clock (plain replay).
+  std::shared_ptr<SimClock> clock;
+  // Latency-aware hint pipeline: when set, the engine submits each job's
+  // inference request at its arrival event (the online submit path) and,
+  // after the run, folds the service's timeliness counters into SimResult.
+  // The service must share `clock` (MethodFactory::make_context wires this).
+  std::shared_ptr<serving::PlacementService> hint_service;
+  // Retraining cadence: the engine schedules one retrain event per period
+  // on the timeline (SimClock::kRetrainPriority) and counts them.
+  std::shared_ptr<core::StalenessSchedule> staleness;
 };
 
 struct JobOutcome {
@@ -37,6 +70,16 @@ struct SimResult {
   std::uint64_t peak_ssd_used_bytes = 0;
   std::vector<JobOutcome> outcomes;
 
+  // Hint timeliness (populated when SimConfig::hint_service is set):
+  // on_time hints reached their decision within the virtual deadline, late
+  // ones were delivered after their decision had already fallen back, and
+  // dropped requests never entered the serving queue.
+  std::uint64_t hints_on_time = 0;
+  std::uint64_t hints_late = 0;
+  std::uint64_t hints_dropped = 0;
+  // Retrain events fired by SimConfig::staleness during the replay.
+  std::uint64_t retrain_events = 0;
+
   // Savings relative to the everything-on-HDD baseline, in percent.
   double tco_savings_pct() const {
     return tco_all_hdd > 0.0
@@ -52,8 +95,15 @@ struct SimResult {
 };
 
 // Replays `trace` (jobs must be sorted by arrival; Trace guarantees this)
-// against `policy` under `config`.
+// against `policy` under `config` on the event-driven engine.
 SimResult simulate(const trace::Trace& trace, policy::PlacementPolicy& policy,
                    const SimConfig& config);
+
+// The pre-event-engine synchronous replay: a tight per-job loop with every
+// hint instantly available. Ignores clock / hint_service / staleness. Kept
+// as the bit-identity regression oracle for the zero-latency regime.
+SimResult simulate_synchronous(const trace::Trace& trace,
+                               policy::PlacementPolicy& policy,
+                               const SimConfig& config);
 
 }  // namespace byom::sim

@@ -289,7 +289,8 @@ TEST(ByomPolicy, MissingModelFallsBackToHash) {
   policy::StorageView view;
   view.ssd_capacity_bytes = 100 * kGiB;
   policy->decide(j, view);
-  EXPECT_EQ(policy->last_category(), policy::hash_category_fn(15)(j));
+  EXPECT_EQ(policy->last_category(),
+            make_hash_provider(15)->category(j).value());
 }
 
 TEST(PrecomputeCategories, MatchesPerJobRegistryLookup) {
@@ -317,7 +318,7 @@ TEST(PrecomputeCategories, ModellessJobsGetHashFallback) {
   j.job_key = "some/job";
   const auto hints = precompute_categories(registry, {j}, 15);
   ASSERT_EQ(hints.size(), 1u);
-  EXPECT_EQ(hints.at(99), policy::hash_category_fn(15)(j));
+  EXPECT_EQ(hints.at(99), make_hash_provider(15)->category(j).value());
 }
 
 TEST(ByomPolicyBatched, MatchesUnbatchedDecisions) {
@@ -327,9 +328,13 @@ TEST(ByomPolicyBatched, MatchesUnbatchedDecisions) {
       CategoryModel::train(split.train.jobs(), small_model_config()));
   auto registry = std::make_shared<ModelRegistry>();
   registry->set_default_model(model);
+  ByomPolicyOptions batched_options;
+  batched_options.adaptive.num_categories = model->num_categories();
+  batched_options.hints = HintSource::kPrecomputed;
+  batched_options.precompute_jobs = &split.test.jobs();
+  auto batched = make_byom_policy(registry, batched_options);
   policy::AdaptiveConfig cfg;
   cfg.num_categories = model->num_categories();
-  auto batched = make_byom_policy_batched(registry, split.test.jobs(), cfg);
   auto unbatched = make_byom_policy(registry, cfg);
   policy::StorageView view;
   view.ssd_capacity_bytes = 100 * kGiB;
@@ -342,15 +347,14 @@ TEST(ByomPolicyBatched, MatchesUnbatchedDecisions) {
 
 // --------------------------------------------------------- CategoryProvider
 
-TEST(CategoryProvider, HashProviderMatchesDeprecatedShim) {
+TEST(CategoryProvider, HashProviderDeterministicAndInRange) {
   const auto provider = make_hash_provider(15);
-  const auto shim = policy::hash_category_fn(15);
   for (const char* key : {"a/b", "org_ads.pipe.step", "x", "pipe/step/7"}) {
     trace::Job j;
     j.job_key = key;
     const auto c = provider->category(j);
     ASSERT_TRUE(c.has_value());
-    EXPECT_EQ(*c, shim(j));
+    EXPECT_EQ(*c, provider->category(j).value());
     EXPECT_GE(*c, 1);
     EXPECT_LT(*c, 15);
   }

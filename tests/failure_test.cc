@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/category_model.h"
+#include "core/category_provider.h"
 #include "core/labeler.h"
 #include "ml/gbdt.h"
 #include "oracle/greedy_oracle.h"
@@ -151,13 +152,16 @@ TEST(FailureInjection, TraceCsvRowTooShortRejected) {
 
 // ------------------------------------------------------ policy edge cases
 
-TEST(FailureInjection, AdaptivePolicyWithNegativeCategoryFn) {
+TEST(FailureInjection, AdaptivePolicyWithNegativeCategoryProvider) {
   // A buggy workload model returning garbage categories must be clamped,
   // not crash the storage layer.
   policy::AdaptiveConfig cfg;
   cfg.num_categories = 5;
   policy::AdaptiveCategoryPolicy p(
-      "buggy", [](const trace::Job&) { return -42; }, cfg);
+      "buggy",
+      core::make_function_provider(
+          "buggy", [](const trace::Job&) { return std::optional<int>(-42); }),
+      cfg);
   policy::StorageView view;
   view.ssd_capacity_bytes = kGiB;
   EXPECT_EQ(p.decide(degenerate_job(0.0, 60.0, kGiB), view),

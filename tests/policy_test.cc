@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/units.h"
+#include "core/category_provider.h"
 #include "policy/adaptive.h"
 #include "policy/cachesack.h"
 #include "policy/first_fit.h"
@@ -196,9 +197,16 @@ AdaptiveConfig fast_config(int n = 5) {
   return cfg;
 }
 
+// Provider that always answers `category` (the old CategoryFn-lambda tests).
+core::CategoryProviderPtr const_category(int category) {
+  return core::make_function_provider("const", [category](const trace::Job&) {
+    return std::optional<int>(category);
+  });
+}
+
 TEST(Adaptive, AdmitsByCategoryThreshold) {
   AdaptiveCategoryPolicy p(
-      "t", [](const trace::Job&) { return 3; }, fast_config());
+      "t", const_category(3), fast_config());
   EXPECT_EQ(p.decide(make_job(0, 60, kGiB), view_with(kGiB, 0)),
             Device::kSsd);  // 3 >= ACT(1)
 }
@@ -206,14 +214,14 @@ TEST(Adaptive, AdmitsByCategoryThreshold) {
 TEST(Adaptive, RejectsCategoryZero) {
   // Category 0 = negative savings; ACT >= 1 always, so never admitted.
   AdaptiveCategoryPolicy p(
-      "t", [](const trace::Job&) { return 0; }, fast_config());
+      "t", const_category(0), fast_config());
   EXPECT_EQ(p.decide(make_job(0, 60, kGiB), view_with(kGiB, 0)),
             Device::kHdd);
 }
 
 TEST(Adaptive, ActRisesUnderSpillover) {
   auto cfg = fast_config();
-  AdaptiveCategoryPolicy p("t", [](const trace::Job&) { return 2; }, cfg);
+  AdaptiveCategoryPolicy p("t", const_category(2), cfg);
   // Feed jobs that were scheduled to SSD but fully spilled.
   double t = 0.0;
   int act_before = p.current_act();
@@ -233,7 +241,7 @@ TEST(Adaptive, ActRisesUnderSpillover) {
 TEST(Adaptive, ActFallsWhenIdle) {
   auto cfg = fast_config();
   cfg.initial_act = 4;
-  AdaptiveCategoryPolicy p("t", [](const trace::Job&) { return 2; }, cfg);
+  AdaptiveCategoryPolicy p("t", const_category(2), cfg);
   double t = 0.0;
   for (int i = 0; i < 30; ++i) {
     t += 150.0;
@@ -250,7 +258,7 @@ TEST(Adaptive, ActFallsWhenIdle) {
 TEST(Adaptive, ActStableInsideToleranceRange) {
   auto cfg = fast_config();
   cfg.initial_act = 2;
-  AdaptiveCategoryPolicy p("t", [](const trace::Job&) { return 2; }, cfg);
+  AdaptiveCategoryPolicy p("t", const_category(2), cfg);
   double t = 0.0;
   for (int i = 0; i < 30; ++i) {
     t += 150.0;
@@ -267,7 +275,7 @@ TEST(Adaptive, ActStableInsideToleranceRange) {
 TEST(Adaptive, DecisionIntervalThrottlesUpdates) {
   auto cfg = fast_config();
   cfg.decision_interval = 10000.0;
-  AdaptiveCategoryPolicy p("t", [](const trace::Job&) { return 2; }, cfg);
+  AdaptiveCategoryPolicy p("t", const_category(2), cfg);
   double t = 0.0;
   for (int i = 0; i < 50; ++i) {
     t += 10.0;  // all within one interval after the first decision
@@ -279,7 +287,7 @@ TEST(Adaptive, DecisionIntervalThrottlesUpdates) {
 TEST(Adaptive, WindowExpiryForgetsOldSpills) {
   auto cfg = fast_config();
   cfg.lookback_window = 300.0;
-  AdaptiveCategoryPolicy p("t", [](const trace::Job&) { return 2; }, cfg);
+  AdaptiveCategoryPolicy p("t", const_category(2), cfg);
   // One fully-spilled job early on.
   auto early = make_job(0.0, 100.0, kGiB);
   p.decide(early, view_with(kGiB, kGiB));
@@ -296,7 +304,7 @@ TEST(Adaptive, WindowExpiryForgetsOldSpills) {
 
 TEST(Adaptive, CategoryClamped) {
   AdaptiveCategoryPolicy p(
-      "t", [](const trace::Job&) { return 99; }, fast_config());
+      "t", const_category(99), fast_config());
   p.decide(make_job(0, 60, kGiB), view_with(kGiB, 0));
   EXPECT_EQ(p.last_category(), 4);  // clamped to N-1
 }
@@ -305,31 +313,31 @@ TEST(Adaptive, RejectsBadConfig) {
   AdaptiveConfig cfg;
   cfg.num_categories = 1;
   EXPECT_THROW(
-      AdaptiveCategoryPolicy("t", [](const trace::Job&) { return 0; }, cfg),
+      AdaptiveCategoryPolicy("t", const_category(0), cfg),
       std::invalid_argument);
   AdaptiveConfig inverted;
   inverted.spillover_lower = 0.5;
   inverted.spillover_upper = 0.1;
   EXPECT_THROW(AdaptiveCategoryPolicy(
-                   "t", [](const trace::Job&) { return 0; }, inverted),
+                   "t", const_category(0), inverted),
                std::invalid_argument);
 }
 
-TEST(Adaptive, HashCategoryFnDeterministicAndInRange) {
-  const auto fn = hash_category_fn(15);
+TEST(Adaptive, HashProviderDeterministicAndInRange) {
+  const auto provider = core::make_hash_provider(15);
   auto j = make_job(0, 60, kGiB, "some/pipeline");
-  const int c = fn(j);
-  EXPECT_EQ(fn(j), c);
+  const int c = provider->category(j).value();
+  EXPECT_EQ(provider->category(j).value(), c);
   EXPECT_GE(c, 1);
   EXPECT_LE(c, 14);
 }
 
-TEST(Adaptive, HashCategorySpreadsAcrossBins) {
-  const auto fn = hash_category_fn(15);
+TEST(Adaptive, HashProviderSpreadsAcrossBins) {
+  const auto provider = core::make_hash_provider(15);
   std::vector<int> counts(15, 0);
   for (int i = 0; i < 2000; ++i) {
     auto j = make_job(0, 60, kGiB, "pipe" + std::to_string(i) + "/step");
-    ++counts[static_cast<std::size_t>(fn(j))];
+    ++counts[static_cast<std::size_t>(provider->category(j).value())];
   }
   EXPECT_EQ(counts[0], 0);  // hash never assigns the negative class
   for (int c = 1; c < 15; ++c) EXPECT_GT(counts[static_cast<std::size_t>(c)], 50);

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "core/category_provider.h"
 #include "core/labeler.h"
 #include "oracle/greedy_oracle.h"
 #include "policy/adaptive.h"
@@ -172,7 +173,7 @@ TEST_P(AdaptiveSweep, ActAlwaysWithinBounds) {
   cfg.lookback_window = 200.0;
   common::Rng rng(42);
   policy::AdaptiveCategoryPolicy policy(
-      "sweep", policy::hash_category_fn(param.num_categories), cfg);
+      "sweep", core::make_hash_provider(param.num_categories), cfg);
   policy::StorageView view;
   view.ssd_capacity_bytes = kGiB;
   double t = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/byom.h"
@@ -406,6 +407,107 @@ TEST(AsyncServingEquivalence, ServedSweepMatchesOfflineBatched) {
     EXPECT_EQ(served[i].result.peak_ssd_used_bytes,
               offline[i].result.peak_ssd_used_bytes);
   }
+}
+
+// --------------------------------------------------------- virtual time
+
+TEST(VirtualTime, RequiresDeterministicMode) {
+  auto config = fixture().deterministic_config();
+  config.num_threads = 2;
+  config.clock = std::make_shared<sim::SimClock>();
+  EXPECT_THROW(PlacementService(fixture().registry, config),
+               std::invalid_argument);
+}
+
+TEST(VirtualTime, ZeroLatencyMatchesPlainDeterministicHints) {
+  auto& f = fixture();
+  const auto& jobs = f.split.test.jobs();
+
+  PlacementService plain(f.registry, f.deterministic_config());
+  plain.enqueue_all(jobs);
+
+  auto config = f.deterministic_config();
+  config.clock = std::make_shared<sim::SimClock>();
+  config.latency_model = make_zero_latency_model();
+  PlacementService virt(f.registry, config);
+  virt.enqueue_all(jobs);
+
+  for (const auto& job : jobs) {
+    const auto a = plain.wait_for(job.job_id);
+    const auto b = virt.wait_for(job.job_id);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b);
+  }
+  const auto stats = virt.stats();
+  EXPECT_EQ(stats.on_time, jobs.size());
+  EXPECT_EQ(stats.late, 0u);
+}
+
+TEST(VirtualTime, HintWithinDeadlineConsumedMidWait) {
+  auto& f = fixture();
+  auto config = f.deterministic_config();
+  config.clock = std::make_shared<sim::SimClock>();
+  config.latency_model = make_fixed_latency_model(0.5);
+  config.virtual_request_deadline = 1.0;
+  PlacementService service(f.registry, config);
+
+  const auto& job = f.split.test.jobs().front();
+  ASSERT_TRUE(service.enqueue(job));
+  const auto hint = service.wait_for(job.job_id);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, f.model->predict_category(job));
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.on_time, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.late, 0u);
+  EXPECT_NEAR(stats.mean_latency_ms(), 500.0, 1e-9);  // virtual 0.5 s
+}
+
+TEST(VirtualTime, HintBeyondDeadlineIsLateAndDeliveredByEvent) {
+  auto& f = fixture();
+  auto config = f.deterministic_config();
+  config.clock = std::make_shared<sim::SimClock>();
+  config.latency_model = make_fixed_latency_model(5.0);
+  config.virtual_request_deadline = 1.0;
+  PlacementService service(f.registry, config);
+
+  const auto& job = f.split.test.jobs().front();
+  ASSERT_TRUE(service.enqueue(job));
+  EXPECT_FALSE(service.wait_for(job.job_id).has_value());  // cannot make it
+  EXPECT_EQ(service.stats().misses, 1u);
+  EXPECT_EQ(service.stats().late, 0u);  // not delivered yet
+
+  // The hint-ready event fires at t = 5: the hint lands in the results
+  // table (an observer sees it) and is counted late.
+  config.clock->run_all();
+  EXPECT_DOUBLE_EQ(config.clock->now(), 5.0);
+  const auto hint = service.lookup(job.job_id);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, f.model->predict_category(job));
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.late, 1u);
+  EXPECT_EQ(stats.on_time, 0u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(VirtualTime, FlushEventComputesUnconsumedRequests) {
+  auto& f = fixture();
+  auto config = f.deterministic_config();
+  config.clock = std::make_shared<sim::SimClock>();
+  config.latency_model = make_zero_latency_model();
+  config.virtual_flush_deadline = 2.0;
+  config.drain_on_lookup = false;  // no consumer drains: the flush must
+  PlacementService service(f.registry, config);
+
+  const auto& job = f.split.test.jobs().front();
+  ASSERT_TRUE(service.enqueue(job));
+  EXPECT_FALSE(service.lookup(job.job_id).has_value());
+  // No consumer ever asks; the virtual batcher deadline flushes anyway.
+  config.clock->run_all();
+  EXPECT_DOUBLE_EQ(config.clock->now(), 2.0);
+  EXPECT_TRUE(service.lookup(job.job_id).has_value());
+  EXPECT_EQ(service.stats().completed, 1u);
 }
 
 // -------------------------------------------------- noisy cells determinism

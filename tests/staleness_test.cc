@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/category_provider.h"
+#include "core/staleness.h"
+#include "sim/sim_clock.h"
+
+namespace byom::core {
+namespace {
+
+StalenessConfig config_with(double start, double period, double half_life) {
+  StalenessConfig cfg;
+  cfg.epoch_start = start;
+  cfg.retrain_period = period;
+  cfg.half_life = half_life;
+  cfg.seed = 42;
+  cfg.num_categories = 15;
+  return cfg;
+}
+
+trace::Job job_with_id(std::uint64_t id) {
+  trace::Job j;
+  j.job_id = id;
+  j.job_key = "pipe/" + std::to_string(id);
+  return j;
+}
+
+TEST(StalenessSchedule, AgeGrowsFromEpochStart) {
+  StalenessSchedule s(config_with(100.0, 0.0, 3600.0));
+  EXPECT_DOUBLE_EQ(s.age(50.0), 0.0);  // before training: clamped
+  EXPECT_DOUBLE_EQ(s.age(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.age(4100.0), 4000.0);
+}
+
+TEST(StalenessSchedule, RetrainResetsAge) {
+  StalenessSchedule s(config_with(0.0, 3600.0, 3600.0));
+  EXPECT_DOUBLE_EQ(s.age(3000.0), 3000.0);
+  s.on_retrain(3600.0);
+  EXPECT_DOUBLE_EQ(s.age(3700.0), 100.0);
+  EXPECT_EQ(s.retrain_count(), 1u);
+  EXPECT_THROW(s.on_retrain(1000.0), std::invalid_argument);
+}
+
+TEST(StalenessSchedule, CorruptionProbabilityFollowsHalfLife) {
+  StalenessSchedule s(config_with(0.0, 0.0, 3600.0));
+  EXPECT_DOUBLE_EQ(s.corruption_probability(0.0), 0.0);
+  EXPECT_NEAR(s.corruption_probability(3600.0), 0.5, 1e-12);
+  EXPECT_NEAR(s.corruption_probability(2.0 * 3600.0), 0.75, 1e-12);
+  // Disabled decay never corrupts.
+  StalenessSchedule off(config_with(0.0, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(off.corruption_probability(1e9), 0.0);
+}
+
+TEST(StalenessSchedule, RetrainTimesCoverTheWindow) {
+  StalenessSchedule s(config_with(1000.0, 500.0, 3600.0));
+  const auto times = s.retrain_times(1000.0, 3000.0);
+  EXPECT_EQ(times, (std::vector<double>{1500.0, 2000.0, 2500.0, 3000.0}));
+  // Window starting mid-epoch picks up the next multiple.
+  const auto offset = s.retrain_times(1700.0, 2600.0);
+  EXPECT_EQ(offset, (std::vector<double>{2000.0, 2500.0}));
+  // No cadence, no events.
+  StalenessSchedule never(config_with(0.0, 0.0, 3600.0));
+  EXPECT_TRUE(never.retrain_times(0.0, 1e9).empty());
+}
+
+TEST(StaleProvider, FreshModelPassesHintsThrough) {
+  auto clock = std::make_shared<sim::SimClock>();
+  auto schedule =
+      std::make_shared<StalenessSchedule>(config_with(0.0, 0.0, 3600.0));
+  auto inner = make_function_provider(
+      "const", [](const trace::Job&) { return std::optional<int>(7); });
+  auto provider = make_stale_provider(inner, schedule, clock);
+  for (std::uint64_t id = 0; id < 50; ++id) {
+    EXPECT_EQ(provider->category(job_with_id(id)), 7);
+  }
+}
+
+TEST(StaleProvider, DeclinedHintsPassThroughUntouched) {
+  auto clock = std::make_shared<sim::SimClock>();
+  clock->advance_to(1e9);  // maximally stale
+  auto schedule =
+      std::make_shared<StalenessSchedule>(config_with(0.0, 0.0, 3600.0));
+  auto inner = make_function_provider(
+      "decline", [](const trace::Job&) { return std::optional<int>(); });
+  auto provider = make_stale_provider(inner, schedule, clock);
+  EXPECT_FALSE(provider->category(job_with_id(1)).has_value());
+}
+
+TEST(StaleProvider, CorruptedSetsNestAsAgeGrows) {
+  // The per-job coin depends only on (seed, job_id), so jobs corrupted at a
+  // younger age stay corrupted at any older age — degradation is smooth and
+  // monotone across a cadence sweep.
+  auto schedule =
+      std::make_shared<StalenessSchedule>(config_with(0.0, 0.0, 3600.0));
+  auto inner = make_function_provider(
+      "const", [](const trace::Job&) { return std::optional<int>(7); });
+  const auto corrupted_at = [&](double age) {
+    auto clock = std::make_shared<sim::SimClock>();
+    clock->advance_to(age);
+    auto provider = make_stale_provider(inner, schedule, clock);
+    std::set<std::uint64_t> ids;
+    for (std::uint64_t id = 0; id < 500; ++id) {
+      if (provider->category(job_with_id(id)) != 7) ids.insert(id);
+    }
+    return ids;
+  };
+  const auto young = corrupted_at(1800.0);
+  const auto old = corrupted_at(4.0 * 3600.0);
+  EXPECT_GT(young.size(), 0u);
+  EXPECT_GT(old.size(), young.size());
+  for (const auto id : young) {
+    EXPECT_TRUE(old.count(id)) << "job " << id
+                               << " healed as the model aged";
+  }
+  // Corrupted hints land in the hash fallback's range [1, N-1].
+  auto clock = std::make_shared<sim::SimClock>();
+  clock->advance_to(1e9);
+  auto provider = make_stale_provider(inner, schedule, clock);
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    const auto c = provider->category(job_with_id(id));
+    ASSERT_TRUE(c.has_value());
+    EXPECT_GE(*c, 1);
+    EXPECT_LT(*c, 15);
+  }
+}
+
+TEST(StaleProvider, RejectsNullArguments) {
+  auto clock = std::make_shared<sim::SimClock>();
+  auto schedule =
+      std::make_shared<StalenessSchedule>(config_with(0.0, 0.0, 3600.0));
+  auto inner = make_hash_provider(15);
+  EXPECT_THROW(make_stale_provider(nullptr, schedule, clock),
+               std::invalid_argument);
+  EXPECT_THROW(make_stale_provider(inner, nullptr, clock),
+               std::invalid_argument);
+  EXPECT_THROW(make_stale_provider(inner, schedule, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace byom::core
