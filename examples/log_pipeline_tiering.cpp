@@ -105,14 +105,15 @@ int main() {
   const auto serving_stats = service->stats();
   std::printf(
       "serving: %llu requests, %llu batches (%llu size / %llu deadline "
-      "flushes), %llu hits, %llu fallbacks, mean hint latency %.3f ms\n",
+      "flushes), %llu hits, %llu fallbacks, mean wall hint latency "
+      "%.3f ms\n",
       static_cast<unsigned long long>(serving_stats.enqueued),
       static_cast<unsigned long long>(serving_stats.batches),
       static_cast<unsigned long long>(serving_stats.size_flushes),
       static_cast<unsigned long long>(serving_stats.deadline_flushes),
       static_cast<unsigned long long>(serving_stats.hits),
       static_cast<unsigned long long>(serving_stats.misses),
-      serving_stats.mean_latency_ms());
+      serving_stats.mean_wall_latency_ms());
 
   std::printf("results over the live week (vs all-HDD baseline):\n");
   std::printf("  BYOM      TCO %.2f%%  TCIO %.2f%%  runtime %.2f%%\n",

@@ -2,26 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 namespace byom::core {
-
-void ModelRegistry::register_model(const std::string& pipeline_name,
-                                   std::shared_ptr<const CategoryModel> model) {
-  per_pipeline_[pipeline_name] = std::move(model);
-}
-
-void ModelRegistry::set_default_model(
-    std::shared_ptr<const CategoryModel> model) {
-  default_model_ = std::move(model);
-}
-
-const CategoryModel* ModelRegistry::lookup(const trace::Job& job) const {
-  const auto it = per_pipeline_.find(job.pipeline_name);
-  if (it != per_pipeline_.end()) return it->second.get();
-  return default_model_.get();
-}
 
 namespace {
 
@@ -37,8 +22,10 @@ class RegistryProvider final : public CategoryProvider {
   std::string name() const override { return "registry"; }
 
   std::optional<int> category(const trace::Job& job) override {
-    if (const CategoryModel* model = registry_->lookup(job)) {
-      return model->predict_category(job);
+    // The resolved handle keeps the backend alive through the prediction
+    // even if a retrain hot-swaps the registration concurrently.
+    if (const ModelBackendPtr backend = registry_->lookup(job)) {
+      return backend->predict_category(job);
     }
     return std::nullopt;  // no model for this workload: consumer falls back
   }
@@ -106,30 +93,35 @@ CategoryHints precompute_categories(const ModelRegistry& registry,
   CategoryHints hints;
   hints.reserve(jobs.size());
 
-  // Group job indices by responsible model so each model sees one batch.
-  std::unordered_map<const CategoryModel*, std::vector<std::size_t>> groups;
+  // Group job indices by responsible backend so each backend sees one
+  // batch. The group holds a shared_ptr: a concurrent hot-swap cannot
+  // destroy a backend this pass is still predicting with.
+  struct Group {
+    ModelBackendPtr backend;
+    std::vector<std::size_t> indices;
+  };
+  std::unordered_map<const ModelBackend*, Group> groups;
   const auto fallback = make_hash_provider(fallback_num_categories);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (const CategoryModel* model = registry.lookup(jobs[i])) {
-      groups[model].push_back(i);
+    if (ModelBackendPtr backend = registry.lookup(jobs[i])) {
+      Group& group = groups[backend.get()];
+      if (!group.backend) group.backend = std::move(backend);
+      group.indices.push_back(i);
     } else {
       hints.emplace(jobs[i].job_id, fallback->category(jobs[i]).value_or(0));
     }
   }
-  for (const auto& [model, indices] : groups) {
-    const std::size_t width = model->extractor().num_features();
-    std::vector<float> values(indices.size() * width);
-    std::vector<FeatureRow> rows(indices.size());
-    for (std::size_t b = 0; b < indices.size(); ++b) {
-      const auto features = model->extractor().extract(jobs[indices[b]]);
-      std::copy(features.begin(), features.end(),
-                values.begin() + b * width);
-      rows[b] = FeatureRow{values.data() + b * width};
+  for (const auto& [key, group] : groups) {
+    (void)key;
+    std::vector<const trace::Job*> batch;
+    batch.reserve(group.indices.size());
+    for (const std::size_t index : group.indices) {
+      batch.push_back(&jobs[index]);
     }
-    const auto categories =
-        model->predict_batch(common::Span<const FeatureRow>(rows));
-    for (std::size_t b = 0; b < indices.size(); ++b) {
-      hints.emplace(jobs[indices[b]].job_id, categories[b]);
+    const auto categories = group.backend->predict_batch(
+        common::Span<const trace::Job* const>(batch.data(), batch.size()));
+    for (std::size_t b = 0; b < group.indices.size(); ++b) {
+      hints.emplace(jobs[group.indices[b]].job_id, categories[b]);
     }
   }
   return hints;

@@ -5,14 +5,16 @@
 // category hint produced by its workload's model; the storage layer runs
 // the adaptive category selection algorithm over those hints.
 //
-// ModelRegistry holds one model per workload (keyed by pipeline name) plus
-// an optional cluster-default model. make_byom_policy() wires a registry
-// into the Algorithm-1 policy through the CategoryProvider API
-// (core/category_provider.h): the registry provider declines for workloads
-// without any model, and the policy degrades those decisions to a hash
-// category — a missing/broken model degrades one workload instead of the
-// whole cluster (paper section 2.3: "a model failure only affects one
-// workload").
+// The registry (core/model_registry.h: ShardedModelRegistry, holding
+// pluggable ModelBackend instances — GBDT, logistic regression, frequency
+// table, core/model_backend.h) keeps one backend per workload (keyed by
+// pipeline name) plus an optional cluster-default backend.
+// make_byom_policy() wires a registry into the Algorithm-1 policy through
+// the CategoryProvider API (core/category_provider.h): the registry
+// provider declines for workloads without any model, and the policy
+// degrades those decisions to a hash category — a missing/broken model
+// degrades one workload instead of the whole cluster (paper section 2.3:
+// "a model failure only affects one workload").
 //
 // Provider selection is a ByomPolicyOptions knob:
 //   kSync        per-job synchronous registry inference (default)
@@ -30,42 +32,19 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/category_model.h"
 #include "core/category_provider.h"
+#include "core/model_registry.h"
 #include "policy/adaptive.h"
 
 namespace byom::core {
 
-class ModelRegistry {
- public:
-  // Registers a model for one workload (pipeline). Replaces any previous
-  // registration for the same pipeline.
-  void register_model(const std::string& pipeline_name,
-                      std::shared_ptr<const CategoryModel> model);
-
-  // Cluster-wide fallback (the paper trains one joint model per cluster;
-  // finer granularities "are not precluded" — both work here).
-  void set_default_model(std::shared_ptr<const CategoryModel> model);
-
-  // The model responsible for this job: exact pipeline match, else the
-  // default, else nullptr.
-  const CategoryModel* lookup(const trace::Job& job) const;
-
-  std::size_t num_models() const { return per_pipeline_.size(); }
-  bool has_default() const { return default_model_ != nullptr; }
-
- private:
-  std::unordered_map<std::string, std::shared_ptr<const CategoryModel>>
-      per_pipeline_;
-  std::shared_ptr<const CategoryModel> default_model_;
-};
-
 // Synchronous per-job registry inference as a provider; declines for jobs
 // whose workload has no model (compose with a fallback, or let the policy's
-// hash fallback take over).
+// hash fallback take over). The provider resolves the backend per call, so
+// a hot-swapped registration takes effect on the very next decision.
 CategoryProviderPtr make_registry_provider(
     std::shared_ptr<const ModelRegistry> registry);
 
@@ -97,12 +76,13 @@ std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
     std::shared_ptr<const ModelRegistry> registry,
     const policy::AdaptiveConfig& config);
 
-// Batched hint precomputation: groups `jobs` by their responsible model and
-// runs one CategoryModel::predict_batch per model (instead of one tree-walk
-// per job). Jobs with no model get the hash fallback so the resulting table
-// covers every job. Categories are identical to per-job registry lookup.
-// This is also the batch-execution path of serving::PlacementService, which
-// is what makes served hints bit-identical to offline-batched ones.
+// Batched hint precomputation: groups `jobs` by their responsible backend
+// and runs one ModelBackend::predict_batch per backend (the GBDT backend's
+// node-block traversal instead of one tree-walk per job). Jobs with no
+// backend get the hash fallback so the resulting table covers every job.
+// Categories are identical to per-job registry lookup. This is also the
+// batch-execution path of serving::PlacementService, which is what makes
+// served hints bit-identical to offline-batched ones.
 CategoryHints precompute_categories(const ModelRegistry& registry,
                                     const std::vector<trace::Job>& jobs,
                                     int fallback_num_categories);

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "core/category_model.h"
+#include "core/labeler.h"
 
 namespace byom::core {
 
@@ -22,9 +23,12 @@ class HashProvider final : public CategoryProvider {
   std::string name() const override { return "hash"; }
 
   std::optional<int> category(const trace::Job& job) override {
+    // Uniform over the admittable categories [1, N-1] only: category 0 is
+    // the labeler's reserved do-not-admit class (kDoNotAdmitCategory), and
+    // a guessed hint must never bar a job from SSD outright.
     const std::uint64_t h = common::fnv1a(job.job_key);
-    return 1 + static_cast<int>(
-                   h % static_cast<std::uint64_t>(num_categories_ - 1));
+    return kDoNotAdmitCategory + 1 +
+           static_cast<int>(h % static_cast<std::uint64_t>(num_categories_ - 1));
   }
 
  private:

@@ -58,7 +58,13 @@ class CategoryProvider {
 using CategoryProviderPtr = std::shared_ptr<CategoryProvider>;
 
 // Uniform hash of the job key onto [1, N-1] (the Adaptive Hash ablation and
-// the terminal robust fallback). Never declines.
+// the terminal robust fallback). Never declines. The range is deliberately
+// N-1 of the N buckets: category core::kDoNotAdmitCategory (0) is the
+// labeler's reserved negative-saving class, which Algorithm 1 never admits
+// (ACT >= 1), so a fallback that hashed onto it would permanently bar the
+// affected jobs from SSD instead of degrading gracefully. Audited in
+// ISSUE 4; the full reachable range is pinned by
+// CategoryProvider.HashProviderCoversExactlyTheAdmittableRange.
 CategoryProviderPtr make_hash_provider(int num_categories);
 
 // Synchronous model-backed inference. With `use_true_category` the provider

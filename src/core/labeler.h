@@ -19,6 +19,15 @@
 
 namespace byom::core {
 
+// The reserved label id: jobs whose TCO saving on SSD is negative land in
+// category 0, and Algorithm 1's admission threshold never drops below 1
+// (policy/adaptive.h), so category-0 jobs are never admitted. Category
+// *producers* that guess rather than measure — the hash fallback in
+// particular — must therefore only emit [1, num_categories - 1]: assigning
+// an unknown job the do-not-admit class would silently bar it from SSD
+// forever. See make_hash_provider (core/category_provider.h).
+inline constexpr int kDoNotAdmitCategory = 0;
+
 enum class LabelSpacing {
   kEquiDepth,    // paper's choice: equal-frequency quantile buckets
   kLinear,       // equal-width buckets over [min, max] density

@@ -1,0 +1,81 @@
+#include "core/model_registry.h"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace byom::core {
+
+ShardedModelRegistry::ShardedModelRegistry(std::size_t num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardedModelRegistry: num_shards >= 1");
+  }
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedModelRegistry::Shard& ShardedModelRegistry::shard_for(
+    const std::string& pipeline_name) const {
+  return *shards_[common::fnv1a(pipeline_name) % shards_.size()];
+}
+
+void ShardedModelRegistry::register_model(const std::string& pipeline_name,
+                                          ModelBackendPtr backend) {
+  if (!backend) {
+    throw std::invalid_argument("register_model: null backend");
+  }
+  Shard& shard = shard_for(pipeline_name);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.models[pipeline_name] = std::move(backend);
+  }
+  swaps_.fetch_add(1);
+}
+
+void ShardedModelRegistry::register_model(
+    const std::string& pipeline_name,
+    std::shared_ptr<const CategoryModel> model) {
+  register_model(pipeline_name, make_gbdt_backend(std::move(model)));
+}
+
+void ShardedModelRegistry::set_default_model(ModelBackendPtr backend) {
+  if (!backend) {
+    throw std::invalid_argument("set_default_model: null backend");
+  }
+  std::atomic_store(&default_model_, std::move(backend));
+  swaps_.fetch_add(1);
+}
+
+void ShardedModelRegistry::set_default_model(
+    std::shared_ptr<const CategoryModel> model) {
+  set_default_model(make_gbdt_backend(std::move(model)));
+}
+
+ModelBackendPtr ShardedModelRegistry::lookup(const trace::Job& job) const {
+  const Shard& shard = shard_for(job.pipeline_name);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const auto it = shard.models.find(job.pipeline_name);
+    if (it != shard.models.end()) return it->second;
+  }
+  return std::atomic_load(&default_model_);
+}
+
+std::size_t ShardedModelRegistry::num_models() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    total += shard->models.size();
+  }
+  return total;
+}
+
+bool ShardedModelRegistry::has_default() const {
+  return std::atomic_load(&default_model_) != nullptr;
+}
+
+}  // namespace byom::core

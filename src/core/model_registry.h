@@ -1,0 +1,86 @@
+// ShardedModelRegistry — the per-workload model store of the BYOM design,
+// rebuilt for a serving fleet: striped shards keyed by a hash of the
+// pipeline name (so registrations for different workloads never contend),
+// reader-writer locking per shard, and hot-swap semantics — register_model
+// atomically replaces the backend serving a pipeline while concurrent
+// lookups from PlacementService worker threads keep running on whichever
+// backend they already hold.
+//
+// Safety contract: lookup() returns a shared_ptr, never a raw pointer. A
+// reader that resolved a backend keeps it alive for the duration of its
+// inference even if a writer swaps the registration mid-flight; the old
+// backend is destroyed when the last in-flight reader drops it. This is
+// what lets retrain events on the virtual timeline *install* freshly
+// trained backends (core/staleness.h hook, sim/experiment.h wiring) instead
+// of merely resetting a staleness counter.
+//
+// Granularity mirrors the paper: one default backend per cluster ("the
+// paper trains one joint model per cluster"), optionally overridden per
+// pipeline ("finer granularities are not precluded" — each workload brings
+// its own model, of whatever ModelBackend kind it likes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model_backend.h"
+#include "trace/job.h"
+
+namespace byom::core {
+
+class ShardedModelRegistry {
+ public:
+  static constexpr std::size_t kDefaultShards = 8;
+
+  explicit ShardedModelRegistry(std::size_t num_shards = kDefaultShards);
+
+  // Installs (or hot-swaps) the backend serving one workload (pipeline).
+  // Safe to call while other threads lookup(): readers either see the old
+  // backend or the new one, never a torn state.
+  void register_model(const std::string& pipeline_name,
+                      ModelBackendPtr backend);
+  // Convenience: wraps a trained CategoryModel in the GBDT backend.
+  void register_model(const std::string& pipeline_name,
+                      std::shared_ptr<const CategoryModel> model);
+
+  // Cluster-wide fallback backend; an atomic shared_ptr swap.
+  void set_default_model(ModelBackendPtr backend);
+  void set_default_model(std::shared_ptr<const CategoryModel> model);
+
+  // The backend responsible for this job: exact pipeline match, else the
+  // default, else nullptr. The returned handle stays valid across
+  // concurrent re-registrations (see header comment).
+  ModelBackendPtr lookup(const trace::Job& job) const;
+
+  std::size_t num_models() const;
+  bool has_default() const;
+  std::size_t num_shards() const { return shards_.size(); }
+  // Total successful register_model/set_default_model installations —
+  // retrain machinery and tests use this to prove swaps really happened.
+  std::uint64_t swap_count() const { return swaps_.load(); }
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::string, ModelBackendPtr> models;
+  };
+
+  Shard& shard_for(const std::string& pipeline_name) const;
+
+  // unique_ptr per shard: Shard holds a mutex and must not move when the
+  // vector is built.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ModelBackendPtr default_model_;  // accessed via std::atomic_load/store
+  std::atomic<std::uint64_t> swaps_{0};
+};
+
+// The historical name: everything upstream of the registry (providers,
+// serving, policies) talks to the sharded implementation now.
+using ModelRegistry = ShardedModelRegistry;
+
+}  // namespace byom::core

@@ -46,8 +46,13 @@ void StalenessSchedule::on_retrain(double t) {
   if (t < current_epoch_start_) {
     throw std::invalid_argument("StalenessSchedule: retrain in the past");
   }
+  if (retrain_hook_) retrain_hook_(t);
   current_epoch_start_ = t;
   ++retrain_count_;
+}
+
+void StalenessSchedule::set_retrain_hook(std::function<void(double)> hook) {
+  retrain_hook_ = std::move(hook);
 }
 
 namespace {

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -67,15 +68,25 @@ class StalenessSchedule {
   // retrain events. Empty when retrain_period <= 0.
   std::vector<double> retrain_times(double begin, double end) const;
 
-  // Retrain-event hook: swaps in the model freshly trained at `t`. Times
-  // must be non-decreasing (the event timeline guarantees this).
+  // Retrain event at `t`: runs the installer hook (which deploys the
+  // freshly trained replacement backends — see set_retrain_hook), then
+  // resets the model age to zero. Times must be non-decreasing (the event
+  // timeline guarantees this).
   void on_retrain(double t);
   std::uint64_t retrain_count() const { return retrain_count_; }
+
+  // The deployment side of a retrain: called by on_retrain(t) *before* the
+  // age reset, so the hook observes the stale epoch it is replacing. The
+  // factory wires this to hot-swap freshly trained ModelBackends into the
+  // serving ShardedModelRegistry (sim/experiment.h) — a retrain genuinely
+  // installs a new model instead of only resetting this schedule's counter.
+  void set_retrain_hook(std::function<void(double)> hook);
 
  private:
   StalenessConfig config_;
   double current_epoch_start_ = 0.0;
   std::uint64_t retrain_count_ = 0;
+  std::function<void(double)> retrain_hook_;
 };
 
 // Decorates `inner` with the schedule's staleness dynamics, reading the

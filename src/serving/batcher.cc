@@ -24,14 +24,12 @@ bool Batcher::run_once() {
   std::vector<InferenceRequest> batch;
   batch.reserve(config_.max_batch);
 
-  // Block (in slices, so shutdown is noticed) for the first request.
-  while (batch.empty()) {
-    queue_->pop_batch(batch, config_.max_batch,
-                      std::chrono::milliseconds(50));
-    if (batch.empty() && queue_->shut_down() && queue_->size() == 0) {
-      return false;
-    }
-  }
+  // Block for the first request on the queue's condition variable — no
+  // timeout, so an idle worker sleeps instead of waking every 50 ms, and
+  // shutdown() wakes it immediately. The blocking pop returns empty only
+  // when the queue is shut down and fully drained.
+  queue_->pop_batch(batch, config_.max_batch);
+  if (batch.empty()) return false;
 
   // Top up until the batch is full or the flush deadline fires. The
   // deadline is anchored at the first pop, so a trickle of requests cannot

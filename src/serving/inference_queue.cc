@@ -54,6 +54,20 @@ std::size_t InferenceRequestQueue::pop_batch(
   std::unique_lock<std::mutex> lock(mutex_);
   not_empty_.wait_for(lock, wait,
                       [this] { return shutdown_ || !items_.empty(); });
+  return pop_batch_locked(out, max_batch, lock);
+}
+
+std::size_t InferenceRequestQueue::pop_batch(
+    std::vector<InferenceRequest>& out, std::size_t max_batch) {
+  if (max_batch == 0) return 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return shutdown_ || !items_.empty(); });
+  return pop_batch_locked(out, max_batch, lock);
+}
+
+std::size_t InferenceRequestQueue::pop_batch_locked(
+    std::vector<InferenceRequest>& out, std::size_t max_batch,
+    std::unique_lock<std::mutex>& lock) {
   std::size_t popped = 0;
   while (popped < max_batch && !items_.empty()) {
     out.push_back(std::move(items_.front()));

@@ -51,6 +51,13 @@ class InferenceRequestQueue {
   std::size_t pop_batch(std::vector<InferenceRequest>& out,
                         std::size_t max_batch, std::chrono::milliseconds wait);
 
+  // Blocking variant: waits — without a timeout, so an idle consumer burns
+  // no CPU — until a request arrives or the queue is shut down. Returns 0
+  // only when the queue is shut down and fully drained (the worker-loop
+  // exit condition).
+  std::size_t pop_batch(std::vector<InferenceRequest>& out,
+                        std::size_t max_batch);
+
   // Wakes all waiters; subsequent pushes fail, pops drain what remains.
   void shutdown();
   bool shut_down() const;
@@ -59,6 +66,12 @@ class InferenceRequestQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  // Shared tail of both pop_batch variants: drains up to `max_batch` items
+  // under `lock`, then releases it to notify producers.
+  std::size_t pop_batch_locked(std::vector<InferenceRequest>& out,
+                               std::size_t max_batch,
+                               std::unique_lock<std::mutex>& lock);
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;

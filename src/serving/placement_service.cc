@@ -1,6 +1,7 @@
 #include "serving/placement_service.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -32,12 +33,7 @@ PlacementService::PlacementService(
   }
 }
 
-PlacementService::~PlacementService() {
-  shutdown();
-  for (auto& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-}
+PlacementService::~PlacementService() { shutdown(); }
 
 void PlacementService::worker_loop() {
   while (batcher_.run_once()) {
@@ -118,9 +114,9 @@ std::optional<int> PlacementService::wait_for_virtual(std::uint64_t job_id) {
         in_flight_.erase(it);
         results_.emplace(job_id, ready.category);
         ++completed_;
-        const double latency_ms = ready.virtual_latency * 1000.0;
-        total_latency_ms_ += latency_ms;
-        max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
+        virtual_latency_total_s_ += ready.virtual_latency;
+        virtual_latency_max_s_ =
+            std::max(virtual_latency_max_s_, ready.virtual_latency);
         hits_.fetch_add(1);
         on_time_.fetch_add(1);
         return ready.category;
@@ -171,9 +167,8 @@ void PlacementService::publish_virtual(std::uint64_t job_id, int category,
   std::lock_guard<std::mutex> lock(results_mutex_);
   if (!results_.emplace(job_id, category).second) return;
   ++completed_;
-  const double latency_ms = virtual_latency * 1000.0;
-  total_latency_ms_ += latency_ms;
-  max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
+  virtual_latency_total_s_ += virtual_latency;
+  virtual_latency_max_s_ = std::max(virtual_latency_max_s_, virtual_latency);
 }
 
 void PlacementService::deliver_virtual(std::uint64_t job_id) {
@@ -244,14 +239,29 @@ void PlacementService::execute_batch(std::vector<InferenceRequest>&& batch) {
       const double latency_ms =
           std::chrono::duration<double, std::milli>(now - request.enqueued_at)
               .count();
-      total_latency_ms_ += latency_ms;
-      max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
+      wall_latency_total_ms_ += latency_ms;
+      wall_latency_max_ms_ = std::max(wall_latency_max_ms_, latency_ms);
     }
   }
   results_cv_.notify_all();
 }
 
-void PlacementService::shutdown() { queue_.shutdown(); }
+void PlacementService::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  // Drain order: (1) the queue stops accepting and wakes every blocked
+  // worker; (2) workers flush what was already accepted and exit their
+  // loop; (3) the joins below observe that exit. Only then may the service
+  // report itself shut down — an accepted request is never abandoned by a
+  // worker mid-drain.
+  queue_.shutdown();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // With workers the queue must be fully drained once they exited
+  // (run_once returns false only on shut-down-and-drained). Deterministic
+  // mode has no workers; its queue drains at lookup time.
+  assert(workers_.empty() || queue_.size() == 0);
+}
 
 ServingStats PlacementService::stats() const {
   ServingStats stats;
@@ -267,8 +277,10 @@ ServingStats PlacementService::stats() const {
   {
     std::lock_guard<std::mutex> lock(results_mutex_);
     stats.completed = completed_;
-    stats.total_latency_ms = total_latency_ms_;
-    stats.max_latency_ms = max_latency_ms_;
+    stats.wall_latency_total_ms = wall_latency_total_ms_;
+    stats.wall_latency_max_ms = wall_latency_max_ms_;
+    stats.virtual_latency_total_s = virtual_latency_total_s_;
+    stats.virtual_latency_max_s = virtual_latency_max_s_;
   }
   return stats;
 }

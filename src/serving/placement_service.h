@@ -116,18 +116,34 @@ struct ServingStats {
   std::uint64_t batches = 0;
   std::uint64_t size_flushes = 0;
   std::uint64_t deadline_flushes = 0;
-  double total_latency_ms = 0.0;  // enqueue -> publish, summed
-  double max_latency_ms = 0.0;
+  // Latency accounting is mode-tagged — the two modes measure different
+  // clocks in different units and must never share a counter:
+  //   * threaded / plain deterministic mode: wall-clock enqueue -> publish,
+  //     milliseconds (the `wall_*` pair; `virtual_*` stays zero);
+  //   * virtual-time mode: the latency model's virtual serving delay,
+  //     seconds (the `virtual_*` pair; `wall_*` stays zero).
+  double wall_latency_total_ms = 0.0;
+  double wall_latency_max_ms = 0.0;
+  double virtual_latency_total_s = 0.0;
+  double virtual_latency_max_s = 0.0;
 
-  double mean_latency_ms() const {
-    return completed > 0 ? total_latency_ms / static_cast<double>(completed)
-                         : 0.0;
+  double mean_wall_latency_ms() const {
+    return completed > 0
+               ? wall_latency_total_ms / static_cast<double>(completed)
+               : 0.0;
+  }
+  double mean_virtual_latency_s() const {
+    return completed > 0
+               ? virtual_latency_total_s / static_cast<double>(completed)
+               : 0.0;
   }
 };
 
 class PlacementService {
  public:
-  // The registry maps each job to its workload's model (core/byom.h).
+  // The registry maps each job to its workload's ModelBackend
+  // (core/model_registry.h). Hot-swaps are honored mid-run: each batch
+  // resolves its backends at execution time.
   explicit PlacementService(
       std::shared_ptr<const core::ModelRegistry> registry,
       const PlacementServiceConfig& config = {});
@@ -152,8 +168,13 @@ class PlacementService {
   // deterministic mode. Counts a hit or a miss.
   std::optional<int> wait_for(std::uint64_t job_id);
 
-  // Stops accepting requests; workers drain what is queued, then exit.
-  // Idempotent; also called by the destructor.
+  // Stops accepting requests, wakes every idle worker, and joins them. The
+  // drain order is part of the contract: requests accepted before shutdown
+  // are executed by the exiting workers, so when shutdown() returns in
+  // threaded mode the queue is empty (asserted) and no worker thread is
+  // left behind. An idle worker blocks on the queue's condition variable
+  // (no polling), so shutdown with an empty queue returns promptly.
+  // Idempotent and thread-safe; also called by the destructor.
   void shutdown();
 
   ServingStats stats() const;
@@ -189,8 +210,10 @@ class PlacementService {
   std::condition_variable results_cv_;
   core::CategoryHints results_;
   std::uint64_t completed_ = 0;
-  double total_latency_ms_ = 0.0;
-  double max_latency_ms_ = 0.0;
+  double wall_latency_total_ms_ = 0.0;
+  double wall_latency_max_ms_ = 0.0;
+  double virtual_latency_total_s_ = 0.0;
+  double virtual_latency_max_s_ = 0.0;
 
   std::atomic<std::uint64_t> enqueued_{0};
   std::atomic<std::uint64_t> dropped_{0};
@@ -204,6 +227,7 @@ class PlacementService {
   std::unordered_map<std::uint64_t, InFlightHint> in_flight_;
   bool flush_event_pending_ = false;
 
+  std::mutex shutdown_mutex_;  // serializes concurrent shutdown() calls
   std::vector<std::thread> workers_;
 };
 

@@ -65,6 +65,19 @@ MethodFactory::shared_category_model() const {
 void MethodFactory::set_category_model(core::CategoryModel model) {
   std::lock_guard<std::mutex> lock(model_mutex_);
   model_ = std::make_shared<const core::CategoryModel>(std::move(model));
+  // GBDT backend wrappers may wrap model_ — the cluster default always
+  // does, and small-history pipelines fall back to it (gbdt_model_for) —
+  // so drop every cached "gbdt\n*" entry: registry-backed cells must
+  // deploy the newly installed forest (cross-cluster studies swap models
+  // mid-factory). Pipeline-trained forests live in gbdt_model_cache_ and
+  // stay valid; their wrappers are rebuilt on demand at zero cost.
+  const std::string prefix =
+      std::string(core::backend_kind_name(core::BackendKind::kGbdt)) + "\n";
+  for (auto it = backend_cache_.lower_bound(prefix);
+       it != backend_cache_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;) {
+    it = backend_cache_.erase(it);
+  }
 }
 
 void MethodFactory::warm(MethodId id) const {
@@ -86,6 +99,146 @@ void MethodFactory::warm(MethodId id) const {
     default:
       break;
   }
+}
+
+void MethodFactory::warm(MethodId id, const MakeOptions& options) const {
+  switch (id) {
+    case MethodId::kAdaptiveRanking:
+    case MethodId::kAdaptiveServed:
+    case MethodId::kAdaptiveServedLatency:
+      // Train the cell's backend selection up front; with the default
+      // selection this is exactly the shared GBDT the plain warm covers.
+      shared_backend(options.backend);
+      for (const auto& [pipeline, kind] : options.pipeline_backends) {
+        pipeline_backend(kind, pipeline);
+      }
+      if (!uses_custom_backends(options)) warm(id);
+      break;
+    default:
+      warm(id);
+      break;
+  }
+}
+
+bool MethodFactory::uses_custom_backends(const MakeOptions& options) {
+  return options.backend != core::BackendKind::kGbdt ||
+         !options.pipeline_backends.empty();
+}
+
+core::BackendConfig MethodFactory::backend_config() const {
+  core::BackendConfig config;
+  config.model = model_config_;
+  return config;
+}
+
+core::ModelBackendPtr MethodFactory::shared_backend(
+    core::BackendKind kind) const {
+  const std::string key = std::string(backend_kind_name(kind)) + "\n";
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  const auto it = backend_cache_.find(key);
+  if (it != backend_cache_.end()) return it->second;
+  core::ModelBackendPtr backend;
+  if (kind == core::BackendKind::kGbdt) {
+    // Share the lazily trained category model's forest (same lazy-init as
+    // shared_category_model; inlined because model_mutex_ is held).
+    if (!model_) {
+      model_ = std::make_shared<const core::CategoryModel>(
+          core::CategoryModel::train(train_.jobs(), model_config_));
+    }
+    backend = core::make_gbdt_backend(model_);
+  } else {
+    backend = core::train_backend(kind, train_.jobs(), backend_config());
+  }
+  backend_cache_.emplace(key, backend);
+  return backend;
+}
+
+std::shared_ptr<const std::vector<trace::Job>> MethodFactory::pipeline_history(
+    const std::string& pipeline) const {
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    const auto it = history_cache_.find(pipeline);
+    if (it != history_cache_.end()) return it->second;
+  }
+  auto history = std::make_shared<std::vector<trace::Job>>();
+  for (const auto& job : train_.jobs()) {
+    if (job.pipeline_name == pipeline) history->push_back(job);
+  }
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return history_cache_.emplace(pipeline, std::move(history)).first->second;
+}
+
+std::shared_ptr<const core::CategoryModel> MethodFactory::gbdt_model_for(
+    const std::string& pipeline) const {
+  if (pipeline.empty()) return shared_category_model();
+  const auto history = pipeline_history(pipeline);
+  // Too few runs to fit a labeler worth trusting: deploy the cluster
+  // forest for this workload instead.
+  if (history->size() < 32) return shared_category_model();
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  auto& model = gbdt_model_cache_[pipeline];
+  if (!model) {
+    model = std::make_shared<const core::CategoryModel>(
+        core::CategoryModel::train(*history, model_config_));
+  }
+  return model;
+}
+
+core::ModelBackendPtr MethodFactory::pipeline_backend(
+    core::BackendKind kind, const std::string& pipeline) const {
+  if (pipeline.empty()) return shared_backend(kind);
+  const std::string key =
+      std::string(backend_kind_name(kind)) + "\n" + pipeline;
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    const auto it = backend_cache_.find(key);
+    if (it != backend_cache_.end()) return it->second;
+  }
+  core::ModelBackendPtr backend;
+  if (kind == core::BackendKind::kGbdt) {
+    backend = core::make_gbdt_backend(gbdt_model_for(pipeline));
+  } else {
+    const auto history = pipeline_history(pipeline);
+    // Same small-sample rule as the forest: degrade to the cluster-wide
+    // backend of this kind.
+    backend = history->size() < 32
+                  ? shared_backend(kind)
+                  : core::train_backend(kind, *history, backend_config());
+  }
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  // First insert wins if two cells raced on the same training; artifacts
+  // are deterministic in (kind, history), so either instance is correct.
+  return backend_cache_.emplace(key, std::move(backend)).first->second;
+}
+
+std::shared_ptr<core::ShardedModelRegistry> MethodFactory::make_registry(
+    const MakeOptions& options) const {
+  auto registry = std::make_shared<core::ShardedModelRegistry>();
+  registry->set_default_model(shared_backend(options.backend));
+  for (const auto& [pipeline, kind] : options.pipeline_backends) {
+    registry->register_model(pipeline, pipeline_backend(kind, pipeline));
+  }
+  return registry;
+}
+
+core::ModelBackendPtr MethodFactory::retrained_backend(
+    core::BackendKind kind, const std::string& pipeline) const {
+  if (kind == core::BackendKind::kGbdt) {
+    // Closed-world replay: a forest retrained at the event instant is
+    // bit-identical to the deployed one (immutable history, same config
+    // and seed), so share the trained artifact and install a fresh wrapper
+    // — the hot-swap stays observable at the registry at zero training
+    // cost. A live deployment would train on current data here.
+    return core::make_gbdt_backend(gbdt_model_for(pipeline));
+  }
+  // Cheap kinds genuinely retrain at every event.
+  if (pipeline.empty()) {
+    return core::train_backend(kind, train_.jobs(), backend_config());
+  }
+  const auto history = pipeline_history(pipeline);
+  return core::train_backend(
+      kind, history->size() >= 32 ? *history : train_.jobs(),
+      backend_config());
 }
 
 void MethodFactory::set_predicted_hints(
@@ -114,11 +267,28 @@ std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
 
 core::CategoryProviderPtr MethodFactory::make_provider(
     MethodId id, const trace::Trace& test,
-    const policy::AdaptiveConfig& adaptive) const {
+    const policy::AdaptiveConfig& adaptive,
+    const MakeOptions& options) const {
   switch (id) {
     case MethodId::kAdaptiveHash:
       return core::make_hash_provider(adaptive.num_categories);
     case MethodId::kAdaptiveRanking: {
+      if (uses_custom_backends(options)) {
+        // A non-default backend mix routes through the registry; the
+        // shared GBDT hint table below does not describe these backends.
+        // One registry-grouped batched pass covers the known test jobs
+        // (bit-identical to per-job lookup by precompute_categories'
+        // contract); the sync registry provider answers any job outside
+        // the table.
+        auto registry = make_registry(options);
+        auto hints = std::make_shared<const core::CategoryHints>(
+            core::precompute_categories(*registry, test.jobs(),
+                                        adaptive.num_categories));
+        return core::make_fallback_chain(
+            {core::make_precomputed_provider(std::move(hints),
+                                             "registry-batched"),
+             core::make_registry_provider(std::move(registry))});
+      }
       // Share the trained model with the provider: the policy stays valid
       // independently of this factory's lifetime, without copying the
       // forest per cell.
@@ -146,20 +316,19 @@ core::CategoryProviderPtr MethodFactory::make_provider(
       // batcher; the policy consumes hints through the served provider.
       // Deterministic mode keeps cells bit-reproducible inside parallel
       // sweeps (and is why served results match offline-batched ones).
-      auto registry = std::make_shared<core::ModelRegistry>();
-      registry->set_default_model(shared_category_model());
+      auto registry = make_registry(options);
       serving::PlacementServiceConfig config;
       config.num_threads = 0;  // deterministic mode
       config.queue_capacity = std::max<std::size_t>(1024, test.size());
       config.max_batch = 256;
       config.fallback_num_categories = adaptive.num_categories;
       auto service = std::make_shared<serving::PlacementService>(
-          std::move(registry), config);
+          registry, config);
       service->enqueue_all(test.jobs());
-      // Sync model inference backstops requests the service dropped.
+      // Sync registry inference backstops requests the service dropped.
       return core::make_fallback_chain(
           {serving::make_served_provider(std::move(service)),
-           core::make_model_provider(shared_category_model())});
+           core::make_registry_provider(std::move(registry))});
     }
     default:
       throw std::invalid_argument(
@@ -179,8 +348,10 @@ PolicyContext MethodFactory::make_served_latency_context(
   PolicyContext context;
   context.clock = std::make_shared<SimClock>();
 
-  auto registry = std::make_shared<core::ModelRegistry>();
-  registry->set_default_model(shared_category_model());
+  // The serving registry: cluster-default backend of the cell's kind plus
+  // per-pipeline overrides. Kept on the context so retrain events (and
+  // tests) can hot-swap it while the service reads from it.
+  context.registry = make_registry(options);
 
   serving::PlacementServiceConfig config;
   config.num_threads = 0;  // virtual-time mode is deterministic mode
@@ -198,7 +369,7 @@ PolicyContext MethodFactory::make_served_latency_context(
   // Unconsumed requests flush within one consumer deadline of submission.
   config.virtual_flush_deadline = std::max(options.hint_deadline, 1e-3);
   context.hint_service = std::make_shared<serving::PlacementService>(
-      std::move(registry), config);
+      context.registry, config);
   // NOTE: no enqueue_all here — the event engine submits each request at
   // its job's arrival event, which is what makes hints race decisions.
 
@@ -218,6 +389,22 @@ PolicyContext MethodFactory::make_served_latency_context(
     staleness.seed = options.noise_seed ^ 0x3C3C3C3CC3C3C3C3ULL;
     staleness.num_categories = adaptive.num_categories;
     context.staleness = std::make_shared<core::StalenessSchedule>(staleness);
+    // A retrain event is a real deployment now: freshly trained backends
+    // are hot-swapped into the serving registry (default + every
+    // per-pipeline override), *then* the schedule's model age resets — so
+    // the decay really restarts because a new model is serving, not
+    // because a counter was cleared.
+    const core::BackendKind default_kind = options.backend;
+    const auto overrides = options.pipeline_backends;
+    const auto registry = context.registry;
+    context.staleness->set_retrain_hook(
+        [this, registry, default_kind, overrides](double) {
+          registry->set_default_model(retrained_backend(default_kind, ""));
+          for (const auto& [pipeline, kind] : overrides) {
+            registry->register_model(pipeline,
+                                     retrained_backend(kind, pipeline));
+          }
+        });
     provider = core::make_stale_provider(std::move(provider),
                                          context.staleness, context.clock);
   }
@@ -260,7 +447,7 @@ PolicyContext MethodFactory::make_context(MethodId id,
     case MethodId::kAdaptiveRanking:
     case MethodId::kTrueCategory:
     case MethodId::kAdaptiveServed: {
-      auto provider = make_provider(id, test, adaptive);
+      auto provider = make_provider(id, test, adaptive, options);
       if (options.hint_noise > 0.0) {
         provider =
             core::make_noisy_provider(std::move(provider), options.hint_noise,

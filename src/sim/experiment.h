@@ -22,15 +22,19 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/byom.h"
 #include "core/category_model.h"
 #include "core/category_provider.h"
+#include "core/model_backend.h"
+#include "core/model_registry.h"
 #include "core/staleness.h"
 #include "cost/cost_model.h"
 #include "policy/adaptive.h"
@@ -88,21 +92,43 @@ struct MakeOptions {
   double hint_deadline = 1.0;
   // Model retraining cadence in virtual seconds; 0 disables staleness
   // entirely, > 0 attaches a StalenessSchedule that decays hint accuracy
-  // toward the AdaptiveHash floor between retrains (paper section 6).
+  // toward the AdaptiveHash floor between retrains (paper section 6). Each
+  // retrain event *installs* a freshly trained backend into the serving
+  // registry (hot-swap) and resets the schedule's model age.
   double retrain_period = 0.0;
   // Hint-accuracy half-life while stale; 0 selects the factory default.
   double staleness_half_life = 0.0;
+
+  // ---- model-backend selection (adaptive methods) ----
+  // The cluster-default ModelBackend kind serving this cell: the paper's
+  // GBDT, the cheap logistic regression, or the frequency table
+  // (core/model_backend.h). AdaptiveRanking/AdaptiveServed/
+  // AdaptiveServedLatency build their registries from this.
+  core::BackendKind backend = core::BackendKind::kGbdt;
+  // Per-pipeline overrides — the bring-your-own-model fleet: each listed
+  // pipeline gets its own backend of the given kind, trained on that
+  // pipeline's own history (falling back to the cluster history when the
+  // pipeline's sample is too small to label).
+  std::vector<std::pair<std::string, core::BackendKind>> pipeline_backends;
 };
 
 // Everything one latency-aware simulation cell needs: the policy plus the
 // virtual-time machinery behind it. Pass clock/service/staleness into
 // SimConfig (run_method and ExperimentRunner::run do this) so the engine
 // drives hint delivery and retrains on the same timeline as the arrivals.
+//
+// Lifetime: a context built with retrain_period > 0 *borrows* its factory —
+// the retrain hook trains replacement backends through it — so the factory
+// must outlive the simulation, exactly as it must outlive the runner that
+// holds it by pointer (run_method and ExperimentRunner both satisfy this).
 struct PolicyContext {
   std::unique_ptr<policy::PlacementPolicy> policy;
   std::shared_ptr<SimClock> clock;
   std::shared_ptr<serving::PlacementService> hint_service;
   std::shared_ptr<core::StalenessSchedule> staleness;
+  // The serving registry behind registry-backed cells (hot-swapped by
+  // retrain events); null for methods that do not use one.
+  std::shared_ptr<core::ShardedModelRegistry> registry;
 };
 
 // Trains/caches per-cluster artifacts and manufactures policies.
@@ -141,10 +167,27 @@ class MethodFactory {
   // pointer instead of copying the forest per cell.
   std::shared_ptr<const core::CategoryModel> shared_category_model() const;
 
+  // Lazily trained cluster-default backend of one kind (kGbdt shares the
+  // category model's forest). Cached per kind; thread-safe.
+  core::ModelBackendPtr shared_backend(core::BackendKind kind) const;
+  // Backend trained on one pipeline's own history (the per-workload BYOM
+  // granularity); degrades to the cluster backend when the pipeline has
+  // fewer than 32 training jobs. Cached per (kind, pipeline); thread-safe.
+  core::ModelBackendPtr pipeline_backend(core::BackendKind kind,
+                                         const std::string& pipeline) const;
+  // The serving registry for one cell: cluster-default backend of
+  // options.backend plus every options.pipeline_backends override. A fresh
+  // registry per call (cells hot-swap independently), sharing the cached
+  // trained backends.
+  std::shared_ptr<core::ShardedModelRegistry> make_registry(
+      const MakeOptions& options) const;
+
   // Pre-trains whatever `id` needs (category model, lifetime baseline) so
   // parallel cells share finished artifacts instead of serializing on the
   // training lock mid-run.
   void warm(MethodId id) const;
+  // Same, also covering the cell's backend selection.
+  void warm(MethodId id, const MakeOptions& options) const;
   // Swap in an externally trained model (cross-cluster generalization
   // studies train on cluster A and deploy on cluster B).
   void set_category_model(core::CategoryModel model);
@@ -178,12 +221,33 @@ class MethodFactory {
   // The provider chain for one adaptive method (before noise decoration).
   core::CategoryProviderPtr make_provider(
       MethodId id, const trace::Trace& test,
-      const policy::AdaptiveConfig& adaptive) const;
+      const policy::AdaptiveConfig& adaptive,
+      const MakeOptions& options) const;
   // The virtual-time serving pipeline + optional staleness schedule of one
   // kAdaptiveServedLatency cell.
   PolicyContext make_served_latency_context(
       const trace::Trace& test, const policy::AdaptiveConfig& adaptive,
       const MakeOptions& options) const;
+  // True when the cell's backend selection differs from the plain shared
+  // GBDT (and the method must route through a registry provider).
+  static bool uses_custom_backends(const MakeOptions& options);
+  // The shared BackendConfig backends are trained with.
+  core::BackendConfig backend_config() const;
+  // This pipeline's slice of the training history (cached: retrain events
+  // re-read it per event, and the scan/copy is O(trace)).
+  std::shared_ptr<const std::vector<trace::Job>> pipeline_history(
+      const std::string& pipeline) const;
+  // The (cached) forest serving one pipeline: the pipeline's own trained
+  // model when its history is large enough, else the cluster model.
+  // "" selects the cluster model. Tracks set_category_model swaps.
+  std::shared_ptr<const core::CategoryModel> gbdt_model_for(
+      const std::string& pipeline) const;
+  // The replacement backend a retrain event installs. Cheap kinds retrain
+  // from scratch per event; the GBDT shares the deployed artifact (in this
+  // closed-world replay the history is immutable, so a retrained forest is
+  // bit-identical) under a fresh wrapper, keeping the swap observable.
+  core::ModelBackendPtr retrained_backend(core::BackendKind kind,
+                                          const std::string& pipeline) const;
 
   trace::Trace train_;
   cost::CostModel cost_model_;
@@ -194,6 +258,18 @@ class MethodFactory {
   std::shared_ptr<const policy::CategoryHints> true_hints_;
   mutable std::mutex model_mutex_;
   mutable std::shared_ptr<const core::CategoryModel> model_;
+  // Trained backends keyed by backend_kind_name + "\n" + pipeline ("" =
+  // cluster default). Guarded by model_mutex_.
+  mutable std::map<std::string, core::ModelBackendPtr> backend_cache_;
+  // Per-pipeline trained forests (see gbdt_model_for). Guarded by
+  // model_mutex_.
+  mutable std::map<std::string, std::shared_ptr<const core::CategoryModel>>
+      gbdt_model_cache_;
+  // Per-pipeline training-history slices (see pipeline_history). Guarded
+  // by model_mutex_.
+  mutable std::map<std::string,
+                   std::shared_ptr<const std::vector<trace::Job>>>
+      history_cache_;
   // Trained-once prototype; make() hands out cheap copies (the policy is
   // stateless after construction but each simulation owns its instance).
   mutable std::shared_ptr<const policy::LifetimeMlPolicy> ml_baseline_;

@@ -53,17 +53,34 @@ std::vector<ExperimentCell> ExperimentRunner::make_grid(
   return cells;
 }
 
+namespace {
+
+MakeOptions options_for(const ExperimentCell& cell) {
+  MakeOptions options;
+  options.adaptive = cell.adaptive;
+  options.hint_noise = cell.hint_noise;
+  options.noise_seed = cell.seed;
+  options.hint_latency = cell.hint_latency;
+  options.retrain_period = cell.retrain_period;
+  options.backend = cell.backend;
+  options.pipeline_backends = cell.pipeline_backends;
+  return options;
+}
+
+}  // namespace
+
 void ExperimentRunner::warm_models(
     const std::vector<ExperimentCell>& cells) const {
-  // Train each referenced cluster's lazy model once, up front, so worker
-  // threads share the finished model instead of serializing on the
-  // factory's training lock mid-run.
+  // Train each referenced cluster's lazy models (including every backend
+  // kind the cells select) once, up front, so worker threads share the
+  // finished artifacts instead of serializing on the factory's training
+  // lock mid-run.
   for (const auto& cell : cells) {
     if (cell.cluster >= clusters_.size()) {
       throw std::out_of_range("ExperimentRunner: cell references unknown "
                               "cluster");
     }
-    clusters_[cell.cluster].factory->warm(cell.method);
+    clusters_[cell.cluster].factory->warm(cell.method, options_for(cell));
   }
 }
 
@@ -73,12 +90,7 @@ CellResult ExperimentRunner::run_cell(const ExperimentCell& cell) const {
   out.cell = cell;
   out.capacity_bytes = quota_capacity(cluster.peak_bytes, cell.quota);
 
-  MakeOptions options;
-  options.adaptive = cell.adaptive;
-  options.hint_noise = cell.hint_noise;
-  options.noise_seed = cell.seed;
-  options.hint_latency = cell.hint_latency;
-  options.retrain_period = cell.retrain_period;
+  const MakeOptions options = options_for(cell);
   const auto context = cluster.factory->make_context(
       cell.method, *cluster.test, out.capacity_bytes, options);
   SimConfig config;

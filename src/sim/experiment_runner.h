@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "framework/thread_pool.h"
@@ -35,8 +37,16 @@ struct ExperimentCell {
   // 0 = instant hints). Latency draws are seeded from `seed`.
   double hint_latency = 0.0;
   // Retraining cadence for kAdaptiveServedLatency cells (seconds; 0 = no
-  // staleness): the paper's section-6 savings-vs-cadence sweep axis.
+  // staleness): the paper's section-6 savings-vs-cadence sweep axis. Each
+  // retrain event installs a freshly trained backend into the cell's
+  // serving registry.
   double retrain_period = 0.0;
+  // Cluster-default ModelBackend kind for registry-backed adaptive cells
+  // (GBDT / logistic regression / frequency table), plus per-pipeline
+  // overrides — one cell can replay a heterogeneous bring-your-own-model
+  // fleet (the fig18 backend-mix sweep axis).
+  core::BackendKind backend = core::BackendKind::kGbdt;
+  std::vector<std::pair<std::string, core::BackendKind>> pipeline_backends;
   bool record_outcomes = false;
 };
 

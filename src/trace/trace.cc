@@ -1,6 +1,7 @@
 #include "trace/trace.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/histogram.h"
 
@@ -63,6 +64,17 @@ double Trace::total_tcio_seconds_all_hdd(const cost::CostModel& model) const {
   double total = 0.0;
   for (const Job& j : jobs_) total += model.tcio_seconds_hdd(j.cost_inputs());
   return total;
+}
+
+std::vector<std::string> distinct_pipelines(const Trace& trace) {
+  std::vector<std::string> pipelines;
+  std::unordered_set<std::string> seen;
+  for (const Job& job : trace.jobs()) {
+    if (seen.insert(job.pipeline_name).second) {
+      pipelines.push_back(job.pipeline_name);
+    }
+  }
+  return pipelines;
 }
 
 }  // namespace byom::trace

@@ -48,4 +48,8 @@ class Trace {
   std::vector<Job> jobs_;
 };
 
+// Distinct pipeline names in first-appearance order (the per-workload unit
+// of the BYOM registry: backend overrides, hot-swap targets, fleet mixes).
+std::vector<std::string> distinct_pipelines(const Trace& trace);
+
 }  // namespace byom::trace

@@ -229,32 +229,60 @@ TEST(CategoryModel, PaperDefaultsAre15Categories) {
 // ------------------------------------------------------------- ModelRegistry
 
 TEST(ModelRegistry, LookupPrefersPipelineModel) {
-  auto pipeline_model = std::make_shared<CategoryModel>();
-  auto default_model = std::make_shared<CategoryModel>();
-  ModelRegistry registry;
-  registry.register_model("pipe_a", pipeline_model);
-  registry.set_default_model(default_model);
+  const auto pipeline_backend =
+      make_gbdt_backend(std::make_shared<CategoryModel>());
+  const auto default_backend =
+      make_gbdt_backend(std::make_shared<CategoryModel>());
+  ShardedModelRegistry registry;
+  registry.register_model("pipe_a", pipeline_backend);
+  registry.set_default_model(default_backend);
   trace::Job j;
   j.pipeline_name = "pipe_a";
-  EXPECT_EQ(registry.lookup(j), pipeline_model.get());
+  EXPECT_EQ(registry.lookup(j), pipeline_backend);
   j.pipeline_name = "pipe_b";
-  EXPECT_EQ(registry.lookup(j), default_model.get());
+  EXPECT_EQ(registry.lookup(j), default_backend);
 }
 
 TEST(ModelRegistry, LookupWithoutAnyModelIsNull) {
-  ModelRegistry registry;
+  ShardedModelRegistry registry;
   trace::Job j;
   j.pipeline_name = "anything";
   EXPECT_EQ(registry.lookup(j), nullptr);
 }
 
-TEST(ModelRegistry, CountsModels) {
-  ModelRegistry registry;
+TEST(ModelRegistry, CountsModelsAcrossShardsAndCountsSwaps) {
+  ShardedModelRegistry registry;
   registry.register_model("a", std::make_shared<CategoryModel>());
   registry.register_model("b", std::make_shared<CategoryModel>());
   registry.register_model("a", std::make_shared<CategoryModel>());  // replace
   EXPECT_EQ(registry.num_models(), 2u);
   EXPECT_FALSE(registry.has_default());
+  EXPECT_EQ(registry.swap_count(), 3u);  // every installation counts
+}
+
+TEST(ModelRegistry, HotSwapReplacesBackendForNextLookup) {
+  ShardedModelRegistry registry(4);
+  const auto old_backend = make_gbdt_backend(std::make_shared<CategoryModel>());
+  const auto new_backend = make_gbdt_backend(std::make_shared<CategoryModel>());
+  registry.register_model("pipe", old_backend);
+  trace::Job j;
+  j.pipeline_name = "pipe";
+  const auto held = registry.lookup(j);  // an in-flight reader's handle
+  EXPECT_EQ(held, old_backend);
+  registry.register_model("pipe", new_backend);
+  EXPECT_EQ(registry.lookup(j), new_backend);
+  // The reader that resolved before the swap still holds a live backend.
+  EXPECT_EQ(held, old_backend);
+  EXPECT_EQ(registry.num_models(), 1u);
+}
+
+TEST(ModelRegistry, SingleShardDegeneratesToOneMap) {
+  ShardedModelRegistry registry(1);
+  EXPECT_EQ(registry.num_shards(), 1u);
+  registry.register_model("a", std::make_shared<CategoryModel>());
+  registry.register_model("b", std::make_shared<CategoryModel>());
+  EXPECT_EQ(registry.num_models(), 2u);
+  EXPECT_THROW(ShardedModelRegistry(0), std::invalid_argument);
 }
 
 TEST(ByomPolicy, UsesWorkloadModelAndFallback) {
@@ -357,6 +385,33 @@ TEST(CategoryProvider, HashProviderDeterministicAndInRange) {
     EXPECT_EQ(*c, provider->category(j).value());
     EXPECT_GE(*c, 1);
     EXPECT_LT(*c, 15);
+  }
+}
+
+// ISSUE-4 range audit: the hash fallback deliberately emits N-1 of the N
+// buckets. Category kDoNotAdmitCategory (0) is the labeler's reserved
+// negative-saving class — Algorithm 1 never admits it (ACT >= 1), so a
+// *guessed* category 0 would permanently bar a job from SSD. This test pins
+// the decision: every admittable category [1, N-1] is reachable, and 0 (or
+// anything >= N) never appears.
+TEST(CategoryProvider, HashProviderCoversExactlyTheAdmittableRange) {
+  const int n = 7;
+  const auto provider = make_hash_provider(n);
+  std::vector<int> seen(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = 0; i < 4096; ++i) {
+    trace::Job j;
+    j.job_key = "pipeline_" + std::to_string(i) + "/step";
+    const auto c = provider->category(j);
+    ASSERT_TRUE(c.has_value());
+    ASSERT_GE(*c, 0);
+    ASSERT_LE(*c, n);
+    ++seen[static_cast<std::size_t>(*c)];
+  }
+  EXPECT_EQ(seen[static_cast<std::size_t>(kDoNotAdmitCategory)], 0);
+  EXPECT_EQ(seen[static_cast<std::size_t>(n)], 0);  // N itself: unreachable
+  for (int c = 1; c < n; ++c) {
+    EXPECT_GT(seen[static_cast<std::size_t>(c)], 0)
+        << "admittable category " << c << " unreachable from the hash";
   }
 }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/byom.h"
@@ -303,6 +304,55 @@ TEST(PlacementService, ShutdownRejectsNewRequests) {
   EXPECT_EQ(service.stats().dropped, 1u);
 }
 
+// ISSUE-4 regression: an idle worker used to wake every 50 ms forever; it
+// now blocks on the queue's condition variable, so shutdown() with an empty
+// queue wakes, joins, and returns promptly instead of waiting out a poll
+// slice per worker.
+TEST(PlacementService, ShutdownWithEmptyQueueExitsPromptly) {
+  auto& f = fixture();
+  PlacementServiceConfig config;
+  config.num_threads = 4;
+  config.queue_capacity = 64;
+  config.fallback_num_categories = f.model->num_categories();
+  PlacementService service(f.registry, config);
+  // Give the workers a moment to reach their idle block.
+  std::this_thread::sleep_for(milliseconds(20));
+  const auto start = std::chrono::steady_clock::now();
+  service.shutdown();  // joins all four workers
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_LT(elapsed, 2.0) << "idle workers did not exit promptly";
+  // Idempotent: a second shutdown (and the destructor's) is a no-op.
+  service.shutdown();
+}
+
+// Drain order: requests accepted before shutdown() are executed by the
+// exiting workers — when shutdown returns, nothing is left in the queue and
+// every accepted request has a published hint.
+TEST(PlacementService, ShutdownDrainsAcceptedRequestsBeforeExit) {
+  auto& f = fixture();
+  PlacementServiceConfig config;
+  config.num_threads = 2;
+  config.queue_capacity = 1024;
+  config.max_batch = 16;
+  config.flush_deadline = milliseconds(1);
+  config.fallback_num_categories = f.model->num_categories();
+  PlacementService service(f.registry, config);
+
+  const auto count = static_cast<std::ptrdiff_t>(
+      std::min<std::size_t>(128, f.split.test.size()));
+  std::vector<trace::Job> jobs(f.split.test.jobs().begin(),
+                               f.split.test.jobs().begin() + count);
+  const std::size_t accepted = service.enqueue_all(jobs);
+  service.shutdown();
+  EXPECT_EQ(service.pending_requests(), 0u);
+  EXPECT_EQ(service.stats().completed, accepted);
+  for (const auto& job : jobs) {
+    EXPECT_TRUE(service.lookup(job.job_id).has_value());
+  }
+}
+
 TEST(PlacementService, ThreadedModeServesHintsBeforeDeadline) {
   auto& f = fixture();
   PlacementServiceConfig config;
@@ -327,7 +377,10 @@ TEST(PlacementService, ThreadedModeServesHintsBeforeDeadline) {
   const auto stats = service.stats();
   EXPECT_EQ(stats.hits, jobs.size());
   EXPECT_EQ(stats.misses, 0u);
-  EXPECT_GE(stats.max_latency_ms, 0.0);
+  EXPECT_GE(stats.wall_latency_max_ms, 0.0);
+  // Threaded mode accounts wall-clock only; the virtual counters must
+  // never mix into it.
+  EXPECT_EQ(stats.virtual_latency_total_s, 0.0);
 }
 
 // ------------------------------------------------------ provider equivalence
@@ -461,7 +514,11 @@ TEST(VirtualTime, HintWithinDeadlineConsumedMidWait) {
   EXPECT_EQ(stats.on_time, 1u);
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.late, 0u);
-  EXPECT_NEAR(stats.mean_latency_ms(), 500.0, 1e-9);  // virtual 0.5 s
+  EXPECT_NEAR(stats.mean_virtual_latency_s(), 0.5, 1e-9);
+  // Virtual-time mode accounts virtual seconds only; the wall-clock
+  // counters must stay untouched (the ISSUE-4 unit-mixing bugfix).
+  EXPECT_EQ(stats.wall_latency_total_ms, 0.0);
+  EXPECT_EQ(stats.wall_latency_max_ms, 0.0);
 }
 
 TEST(VirtualTime, HintBeyondDeadlineIsLateAndDeliveredByEvent) {
