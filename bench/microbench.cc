@@ -10,11 +10,14 @@
 #include <vector>
 
 #include "common.h"
+#include "features/feature_extractor.h"
+#include "features/feature_matrix.h"
 #include "features/tokenizer.h"
 #include "oracle/greedy_oracle.h"
 #include "policy/first_fit.h"
 #include "serving/placement_service.h"
 #include "sim/experiment_runner.h"
+#include "sim/sim_clock.h"
 #include "storage/dram_cache.h"
 
 using namespace byom;
@@ -73,6 +76,86 @@ void BM_TokenizeMetadata(benchmark::State& state) {
 }
 BENCHMARK(BM_TokenizeMetadata);
 
+// ---- feature pipeline: allocating vs in-place vs shared-matrix lookup ----
+
+void BM_FeatureExtract(benchmark::State& state) {
+  const features::FeatureExtractor fx;
+  const auto& jobs = fixture().cluster.split.test.jobs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.extract(jobs[i]));
+    i = (i + 1) % jobs.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FeatureExtract);
+
+void BM_FeatureExtractInto(benchmark::State& state) {
+  const features::FeatureExtractor fx;
+  const auto& jobs = fixture().cluster.split.test.jobs();
+  std::vector<float> row(fx.num_features());
+  const common::Span<float> out(row.data(), row.size());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    fx.extract_into(jobs[i], out);
+    benchmark::DoNotOptimize(row.data());
+    i = (i + 1) % jobs.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FeatureExtractInto);
+
+void BM_FeatureMatrixLookup(benchmark::State& state) {
+  const features::FeatureExtractor fx;
+  const auto& jobs = fixture().cluster.split.test.jobs();
+  const features::FeatureMatrix matrix(fx, jobs);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matrix.find(jobs[i].job_id));
+    i = (i + 1) % jobs.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FeatureMatrixLookup);
+
+// ---- event engine: typed pooled events vs the std::function escape hatch --
+
+void BM_EventScheduleTyped(benchmark::State& state) {
+  sim::SimClock clock;
+  clock.reserve(1024);
+  static std::uint64_t sink = 0;
+  const auto handler = [](void*, std::uint64_t arg, double) { sink += arg; };
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      clock.schedule_typed(clock.now() + static_cast<double>(i & 7),
+                           sim::SimClock::kReleasePriority,
+                           sim::SimClock::EventKind::kRelease, +handler,
+                           nullptr, static_cast<std::uint64_t>(i));
+    }
+    clock.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 64));
+}
+BENCHMARK(BM_EventScheduleTyped);
+
+void BM_EventScheduleCallback(benchmark::State& state) {
+  sim::SimClock clock;
+  clock.reserve(1024);
+  static std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      clock.schedule(clock.now() + static_cast<double>(i & 7),
+                     sim::SimClock::kReleasePriority,
+                     [i] { sink += static_cast<std::uint64_t>(i); });
+    }
+    clock.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 64));
+}
+BENCHMARK(BM_EventScheduleCallback);
+
 void BM_AdaptivePolicyDecision(benchmark::State& state) {
   const auto& cluster = fixture().cluster;
   const auto& jobs = cluster.split.test.jobs();
@@ -104,7 +187,10 @@ void BM_SimulatorReplay(benchmark::State& state) {
 BENCHMARK(BM_SimulatorReplay);
 
 // Event-engine overhead vs the synchronous reference loop on the same
-// policy (the refactor's hot-path cost: one heap event per arrival/release).
+// policy. BM_SimulatorReplay above replays through the typed pooled event
+// engine (one POD heap event per release, zero per-event allocation); the
+// ratio of the two is the engine's hot-path cost, tracked in
+// BENCH_microbench.json.
 void BM_SimulatorReplaySynchronous(benchmark::State& state) {
   const auto& cluster = fixture().cluster;
   const auto cap = sim::quota_capacity(cluster.split.test, 0.05);

@@ -23,12 +23,17 @@ inline std::uint64_t split_mix64(std::uint64_t& state) {
 }
 
 // FNV-1a hash for strings; used for feature hashing and hash-based category
-// assignment (the Adaptive Hash ablation).
+// assignment (the Adaptive Hash ablation). The constants are exposed so
+// streaming hashers (features/tokenizer.h) can fold bytes incrementally and
+// stay bit-identical to hashing the materialized string.
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
 inline std::uint64_t fnv1a(std::string_view s) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
+  std::uint64_t h = kFnv1aOffsetBasis;
   for (unsigned char c : s) {
     h ^= c;
-    h *= 0x100000001B3ULL;
+    h *= kFnv1aPrime;
   }
   return h;
 }

@@ -89,7 +89,8 @@ std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
 
 CategoryHints precompute_categories(const ModelRegistry& registry,
                                     const std::vector<trace::Job>& jobs,
-                                    int fallback_num_categories) {
+                                    int fallback_num_categories,
+                                    const features::FeatureMatrix* matrix) {
   CategoryHints hints;
   hints.reserve(jobs.size());
 
@@ -119,7 +120,8 @@ CategoryHints precompute_categories(const ModelRegistry& registry,
       batch.push_back(&jobs[index]);
     }
     const auto categories = group.backend->predict_batch(
-        common::Span<const trace::Job* const>(batch.data(), batch.size()));
+        common::Span<const trace::Job* const>(batch.data(), batch.size()),
+        matrix);
     for (std::size_t b = 0; b < group.indices.size(); ++b) {
       hints.emplace(jobs[group.indices[b]].job_id, categories[b]);
     }

@@ -82,10 +82,14 @@ std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
 // backend get the hash fallback so the resulting table covers every job.
 // Categories are identical to per-job registry lookup. This is also the
 // batch-execution path of serving::PlacementService, which is what makes
-// served hints bit-identical to offline-batched ones.
-CategoryHints precompute_categories(const ModelRegistry& registry,
-                                    const std::vector<trace::Job>& jobs,
-                                    int fallback_num_categories);
+// served hints bit-identical to offline-batched ones. When `matrix` (the
+// trace's shared features::FeatureMatrix) is non-null, feature-driven
+// backends read its pre-extracted rows instead of re-tokenizing each job —
+// bit-identical either way.
+CategoryHints precompute_categories(
+    const ModelRegistry& registry, const std::vector<trace::Job>& jobs,
+    int fallback_num_categories,
+    const features::FeatureMatrix* matrix = nullptr);
 
 // One-call offline training for a workload/cluster history.
 CategoryModel train_byom_model(const std::vector<trace::Job>& history,

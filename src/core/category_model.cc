@@ -8,6 +8,36 @@
 
 namespace byom::core {
 
+std::vector<FeatureRow> gather_feature_rows(
+    const features::FeatureExtractor& extractor,
+    common::Span<const trace::Job* const> jobs,
+    const features::FeatureMatrix* matrix, std::vector<float>& scratch) {
+  const std::size_t width = extractor.num_features();
+  if (matrix != nullptr && matrix->num_features() != width) {
+    matrix = nullptr;
+  }
+  std::vector<FeatureRow> rows(jobs.size());
+  std::size_t missing = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const float* row =
+        matrix != nullptr ? matrix->find(jobs[i]->job_id) : nullptr;
+    rows[i] = FeatureRow{row};
+    if (row == nullptr) ++missing;
+  }
+  // Sized once before the fill loop: growing mid-fill would invalidate the
+  // row pointers already handed out.
+  scratch.resize(missing * width);
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (rows[i].values != nullptr) continue;
+    float* row = scratch.data() + next * width;
+    extractor.extract_into(*jobs[i], common::Span<float>(row, width));
+    rows[i] = FeatureRow{row};
+    ++next;
+  }
+  return rows;
+}
+
 CategoryModel CategoryModel::train(const std::vector<trace::Job>& train_jobs,
                                    const CategoryModelConfig& config) {
   if (train_jobs.empty()) {
@@ -22,12 +52,18 @@ CategoryModel CategoryModel::train(const std::vector<trace::Job>& train_jobs,
 }
 
 int CategoryModel::predict_category(const trace::Job& job) const {
-  const auto features = extractor_.extract(job);
+  std::vector<float> features(extractor_.num_features());
+  extractor_.extract_into(job,
+                          common::Span<float>(features.data(),
+                                              features.size()));
   return classifier_.predict(features.data());
 }
 
 std::vector<double> CategoryModel::predict_proba(const trace::Job& job) const {
-  const auto features = extractor_.extract(job);
+  std::vector<float> features(extractor_.num_features());
+  extractor_.extract_into(job,
+                          common::Span<float>(features.data(),
+                                              features.size()));
   return classifier_.predict_proba(features.data());
 }
 
@@ -44,14 +80,20 @@ std::vector<int> CategoryModel::predict_batch(
 
 std::vector<int> CategoryModel::predict_categories(
     const std::vector<trace::Job>& jobs) const {
-  const std::size_t width = extractor_.num_features();
-  std::vector<float> values(jobs.size() * width);
-  std::vector<FeatureRow> rows(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const auto features = extractor_.extract(jobs[i]);
-    std::copy(features.begin(), features.end(), values.begin() + i * width);
-    rows[i] = FeatureRow{values.data() + i * width};
-  }
+  return predict_categories(jobs, nullptr);
+}
+
+std::vector<int> CategoryModel::predict_categories(
+    const std::vector<trace::Job>& jobs,
+    const features::FeatureMatrix* matrix) const {
+  std::vector<const trace::Job*> pointers;
+  pointers.reserve(jobs.size());
+  for (const auto& job : jobs) pointers.push_back(&job);
+  std::vector<float> scratch;
+  const auto rows = gather_feature_rows(
+      extractor_,
+      common::Span<const trace::Job* const>(pointers.data(), pointers.size()),
+      matrix, scratch);
   return predict_batch(common::Span<const FeatureRow>(rows));
 }
 

@@ -11,6 +11,7 @@
 #include "common/span.h"
 #include "core/labeler.h"
 #include "features/feature_extractor.h"
+#include "features/feature_matrix.h"
 #include "ml/gbdt.h"
 #include "trace/job.h"
 
@@ -22,6 +23,16 @@ namespace byom::core {
 struct FeatureRow {
   const float* values = nullptr;
 };
+
+// Gathers one FeatureRow per job: rows of `matrix` where available (and the
+// matrix width matches the extractor's schema), freshly extracted rows
+// otherwise. `scratch` owns the extracted storage and must outlive the
+// returned rows. Shared by every matrix-aware batch-inference path so the
+// fallback rules cannot diverge.
+std::vector<FeatureRow> gather_feature_rows(
+    const features::FeatureExtractor& extractor,
+    common::Span<const trace::Job* const> jobs,
+    const features::FeatureMatrix* matrix, std::vector<float>& scratch);
 
 struct CategoryModelConfig {
   int num_categories = 15;  // paper default: 15-class model
@@ -54,6 +65,12 @@ class CategoryModel {
   // batch. This is the sweep/serving fast path.
   std::vector<int> predict_categories(
       const std::vector<trace::Job>& jobs) const;
+  // Same, reading rows out of a shared pre-extracted matrix (jobs outside
+  // the matrix, or a schema-mismatched matrix, fall back to extraction).
+  // Bit-identical to the overload above.
+  std::vector<int> predict_categories(
+      const std::vector<trace::Job>& jobs,
+      const features::FeatureMatrix* matrix) const;
 
   // Top-1 accuracy of the model on a held-out population.
   double top1_accuracy(const std::vector<trace::Job>& test_jobs) const;

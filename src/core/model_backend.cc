@@ -22,6 +22,14 @@ std::vector<int> ModelBackend::predict_batch(
 }
 
 std::vector<int> ModelBackend::predict_batch(
+    common::Span<const trace::Job* const> jobs,
+    const features::FeatureMatrix* /*matrix*/) const {
+  // Backends that do not consume Table-2 features (the frequency table)
+  // have nothing to gain from the matrix: identical to the plain batch.
+  return predict_batch(jobs);
+}
+
+std::vector<int> ModelBackend::predict_batch(
     const std::vector<trace::Job>& jobs) const {
   std::vector<const trace::Job*> pointers;
   pointers.reserve(jobs.size());
@@ -63,14 +71,18 @@ class GbdtBackend final : public ModelBackend {
   // prediction by CategoryModel's own contract.
   std::vector<int> predict_batch(
       common::Span<const trace::Job* const> jobs) const override {
-    const std::size_t width = model_->extractor().num_features();
-    std::vector<float> values(jobs.size() * width);
-    std::vector<FeatureRow> rows(jobs.size());
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      const auto features = model_->extractor().extract(*jobs[i]);
-      std::copy(features.begin(), features.end(), values.begin() + i * width);
-      rows[i] = FeatureRow{values.data() + i * width};
-    }
+    return predict_batch(jobs, nullptr);
+  }
+
+  // With a shared matrix, rows are read straight out of the contiguous
+  // block; only jobs outside the matrix (or a schema-mismatched matrix)
+  // are extracted, into one scratch buffer sized once.
+  std::vector<int> predict_batch(
+      common::Span<const trace::Job* const> jobs,
+      const features::FeatureMatrix* matrix) const override {
+    std::vector<float> scratch;
+    const auto rows =
+        gather_feature_rows(model_->extractor(), jobs, matrix, scratch);
     return model_->predict_batch(common::Span<const FeatureRow>(rows));
   }
 
@@ -111,9 +123,9 @@ class LogisticBackend final : public ModelBackend {
     std::vector<float> features(n * num_features_);
     std::vector<int> labels(n);
     for (std::size_t r = 0; r < n; ++r) {
-      const auto row = extractor_.extract(*rows[r]);
-      std::copy(row.begin(), row.end(),
-                features.begin() + r * num_features_);
+      extractor_.extract_into(
+          *rows[r], common::Span<float>(features.data() + r * num_features_,
+                                        num_features_));
       labels[r] = labeler_.category_of(*rows[r]);
     }
 
@@ -155,11 +167,50 @@ class LogisticBackend final : public ModelBackend {
   int num_categories() const override { return num_categories_; }
 
   int predict_category(const trace::Job& job) const override {
-    auto x = extractor_.extract(job);
-    standardize(x.data());
+    std::vector<float> x(num_features_);
+    extractor_.extract_into(job, common::Span<float>(x.data(), x.size()));
     std::vector<double> logits(static_cast<std::size_t>(num_categories_));
-    scores(x.data(), logits.data());
-    // Deterministic argmax: ties break toward the lower category id.
+    return predict_in_place(x.data(), logits.data());
+  }
+
+  std::vector<int> predict_batch(
+      common::Span<const trace::Job* const> jobs) const override {
+    return predict_batch(jobs, nullptr);
+  }
+
+  // Batched path with one reused scratch row: matrix rows (immutable,
+  // shared) are copied into the scratch before standardization, jobs
+  // outside the matrix are extracted into it — either way the per-job
+  // arithmetic is exactly predict_category's, so results are bit-identical.
+  std::vector<int> predict_batch(
+      common::Span<const trace::Job* const> jobs,
+      const features::FeatureMatrix* matrix) const override {
+    if (matrix != nullptr && matrix->num_features() != num_features_) {
+      matrix = nullptr;
+    }
+    std::vector<int> categories;
+    categories.reserve(jobs.size());
+    std::vector<float> x(num_features_);
+    std::vector<double> logits(static_cast<std::size_t>(num_categories_));
+    for (const trace::Job* job : jobs) {
+      const float* row = matrix != nullptr ? matrix->find(job->job_id)
+                                           : nullptr;
+      if (row != nullptr) {
+        std::copy(row, row + num_features_, x.data());
+      } else {
+        extractor_.extract_into(*job, common::Span<float>(x.data(), x.size()));
+      }
+      categories.push_back(predict_in_place(x.data(), logits.data()));
+    }
+    return categories;
+  }
+
+ private:
+  // Standardizes `x` in place, scores every class into `logits`, and
+  // returns the deterministic argmax (ties break toward the lower id).
+  int predict_in_place(float* x, double* logits) const {
+    standardize(x);
+    scores(x, logits);
     int best = 0;
     for (int k = 1; k < num_categories_; ++k) {
       if (logits[static_cast<std::size_t>(k)] >
@@ -170,7 +221,6 @@ class LogisticBackend final : public ModelBackend {
     return best;
   }
 
- private:
   void fit_standardization(const std::vector<float>& features,
                            std::size_t n) {
     means_.assign(num_features_, 0.0);

@@ -28,6 +28,7 @@
 
 #include "common/span.h"
 #include "core/category_model.h"
+#include "features/feature_matrix.h"
 #include "trace/job.h"
 
 namespace byom::core {
@@ -48,6 +49,16 @@ class ModelBackend {
   // layout (the GBDT's node-block traversal) override it.
   virtual std::vector<int> predict_batch(
       common::Span<const trace::Job* const> jobs) const;
+
+  // Same, with a shared pre-extracted feature matrix. `matrix` may be null
+  // (plain predict_batch); feature-driven backends override this to read
+  // the matrix's contiguous rows (by job id) instead of re-extracting, and
+  // fall back to extraction for jobs outside the matrix or when the matrix
+  // width does not match their extractor's schema. Must be bit-identical to
+  // predict_batch without the matrix.
+  virtual std::vector<int> predict_batch(
+      common::Span<const trace::Job* const> jobs,
+      const features::FeatureMatrix* matrix) const;
 
   // Convenience for callers holding a materialized vector.
   std::vector<int> predict_batch(const std::vector<trace::Job>& jobs) const;

@@ -57,43 +57,62 @@ FeatureExtractor::FeatureExtractor(int metadata_buckets)
 }
 
 std::vector<float> FeatureExtractor::extract(const trace::Job& job) const {
-  std::vector<float> out;
-  out.reserve(num_features());
+  std::vector<float> out(num_features());
+  extract_into(job, common::Span<float>(out.data(), out.size()));
+  return out;
+}
+
+void FeatureExtractor::extract_into(const trace::Job& job,
+                                    common::Span<float> out) const {
+  if (out.size() != num_features()) {
+    throw std::invalid_argument(
+        "FeatureExtractor::extract_into: output size != num_features()");
+  }
+  std::size_t i = 0;
   // Group A.
-  out.push_back(static_cast<float>(job.history.average_tcio));
-  out.push_back(static_cast<float>(job.history.average_size));
-  out.push_back(static_cast<float>(job.history.average_lifetime));
-  out.push_back(static_cast<float>(job.history.average_io_density));
+  out[i++] = static_cast<float>(job.history.average_tcio);
+  out[i++] = static_cast<float>(job.history.average_size);
+  out[i++] = static_cast<float>(job.history.average_lifetime);
+  out[i++] = static_cast<float>(job.history.average_io_density);
   // Group C.
   const auto& r = job.resources;
-  out.push_back(static_cast<float>(r.bucket_sizing_initial_num_stripes));
-  out.push_back(static_cast<float>(r.bucket_sizing_num_shards));
-  out.push_back(static_cast<float>(r.bucket_sizing_num_worker_threads));
-  out.push_back(static_cast<float>(r.bucket_sizing_num_workers));
-  out.push_back(static_cast<float>(r.initial_num_buckets));
-  out.push_back(static_cast<float>(r.num_buckets));
-  out.push_back(static_cast<float>(r.records_written));
-  out.push_back(static_cast<float>(r.requested_num_shards));
+  out[i++] = static_cast<float>(r.bucket_sizing_initial_num_stripes);
+  out[i++] = static_cast<float>(r.bucket_sizing_num_shards);
+  out[i++] = static_cast<float>(r.bucket_sizing_num_worker_threads);
+  out[i++] = static_cast<float>(r.bucket_sizing_num_workers);
+  out[i++] = static_cast<float>(r.initial_num_buckets);
+  out[i++] = static_cast<float>(r.num_buckets);
+  out[i++] = static_cast<float>(r.records_written);
+  out[i++] = static_cast<float>(r.requested_num_shards);
   // Group T.
-  out.push_back(static_cast<float>(common::hour_of_day(job.arrival_time)));
-  out.push_back(static_cast<float>(common::second_of_day(job.arrival_time)));
-  out.push_back(static_cast<float>(common::weekday_of(job.arrival_time)));
-  // Group B.
+  out[i++] = static_cast<float>(common::hour_of_day(job.arrival_time));
+  out[i++] = static_cast<float>(common::second_of_day(job.arrival_time));
+  out[i++] = static_cast<float>(common::weekday_of(job.arrival_time));
+  // Group B: identity hash + token buckets per string field, the buckets
+  // accumulated in place by the streaming tokenizer (no token vector, no
+  // bucket vector).
   const std::string* fields[] = {&job.build_target_name, &job.execution_name,
                                  &job.pipeline_name, &job.step_name,
                                  &job.user_name};
+  const auto buckets = static_cast<std::size_t>(metadata_buckets_);
   for (const std::string* field : fields) {
-    out.push_back(identity_hash_feature(*field));
-    const auto buckets = token_hash_buckets(*field, metadata_buckets_);
-    out.insert(out.end(), buckets.begin(), buckets.end());
+    out[i++] = identity_hash_feature(*field);
+    common::Span<float> slot(out.data() + i, buckets);
+    for (float& b : slot) b = 0.0f;
+    accumulate_token_hash_buckets(*field, slot);
+    i += buckets;
   }
-  return out;
 }
 
 ml::Dataset FeatureExtractor::make_dataset(
     const std::vector<trace::Job>& jobs) const {
   ml::Dataset data(names_);
-  for (const auto& job : jobs) data.add_row(extract(job));
+  std::vector<float> row(num_features());
+  const common::Span<float> row_span(row.data(), row.size());
+  for (const auto& job : jobs) {
+    extract_into(job, row_span);
+    data.add_row(row);
+  }
   return data;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "ml/dataset.h"
 #include "trace/job.h"
 
@@ -33,6 +34,12 @@ class FeatureExtractor {
   // Features known *before* execution only: identity strings, allocated
   // resources, timestamps, history. Never touches post-execution fields.
   std::vector<float> extract(const trace::Job& job) const;
+
+  // Zero-allocation variant: writes the same num_features() values into
+  // `out` (whose size must be exactly num_features()). The inference and
+  // matrix-building hot paths use this so steady-state extraction performs
+  // no heap allocation at all. Bit-identical to extract().
+  void extract_into(const trace::Job& job, common::Span<float> out) const;
 
   // Builds an ml::Dataset over many jobs.
   ml::Dataset make_dataset(const std::vector<trace::Job>& jobs) const;

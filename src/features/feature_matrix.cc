@@ -1,0 +1,22 @@
+#include "features/feature_matrix.h"
+
+namespace byom::features {
+
+FeatureMatrix::FeatureMatrix(const FeatureExtractor& extractor,
+                             const std::vector<trace::Job>& jobs)
+    : width_(extractor.num_features()), num_rows_(jobs.size()) {
+  values_.resize(num_rows_ * width_);
+  rows_.reserve(num_rows_);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    extractor.extract_into(
+        jobs[i], common::Span<float>(values_.data() + i * width_, width_));
+    rows_.emplace(jobs[i].job_id, static_cast<std::uint32_t>(i));
+  }
+}
+
+FeatureMatrixPtr make_feature_matrix(const FeatureExtractor& extractor,
+                                     const std::vector<trace::Job>& jobs) {
+  return std::make_shared<const FeatureMatrix>(extractor, jobs);
+}
+
+}  // namespace byom::features

@@ -1,0 +1,65 @@
+// FeatureMatrix — one contiguous row-major block of pre-extracted Table-2
+// feature vectors for a whole trace, computed once and shared.
+//
+// Every consumer of per-job features used to re-extract (and re-tokenize)
+// the same jobs from scratch: each experiment cell, each backend's batched
+// pass, each served inference request. A grid sweep therefore paid
+// O(cells x jobs) tokenizations for O(jobs) distinct feature rows. The
+// matrix inverts that: the MethodFactory extracts each test trace once
+// (keyed by trace identity), and precompute_categories, the GBDT/logistic
+// backends, and the serving pipeline all read the shared rows by job id —
+// zero extraction, zero allocation on the request path.
+//
+// Immutable after construction, so concurrent readers (parallel experiment
+// cells, PlacementService worker threads) share it without locking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "features/feature_extractor.h"
+#include "trace/job.h"
+
+namespace byom::features {
+
+class FeatureMatrix {
+ public:
+  // Extracts every job in `jobs` with `extractor` into one row-major block.
+  // Row i holds jobs[i]'s features; rows are also indexed by job id (first
+  // occurrence wins for duplicate ids — rows of equal ids are identical by
+  // extraction determinism).
+  FeatureMatrix(const FeatureExtractor& extractor,
+                const std::vector<trace::Job>& jobs);
+
+  std::size_t num_rows() const { return num_rows_; }
+  // Row width; consumers must check this matches their extractor's schema
+  // before trusting the rows.
+  std::size_t num_features() const { return width_; }
+
+  const float* row(std::size_t index) const {
+    return values_.data() + index * width_;
+  }
+
+  // The row for a job id, or nullptr when the job is not in this matrix
+  // (the caller falls back to extracting that job itself).
+  const float* find(std::uint64_t job_id) const {
+    const auto it = rows_.find(job_id);
+    return it == rows_.end() ? nullptr : row(it->second);
+  }
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t num_rows_ = 0;
+  std::vector<float> values_;
+  std::unordered_map<std::uint64_t, std::uint32_t> rows_;
+};
+
+using FeatureMatrixPtr = std::shared_ptr<const FeatureMatrix>;
+
+// Convenience: build a shared matrix for `jobs` with `extractor`.
+FeatureMatrixPtr make_feature_matrix(const FeatureExtractor& extractor,
+                                     const std::vector<trace::Job>& jobs);
+
+}  // namespace byom::features

@@ -1,7 +1,5 @@
 #include "features/tokenizer.h"
 
-#include <cctype>
-
 #include "common/rng.h"
 
 namespace byom::features {
@@ -9,10 +7,10 @@ namespace byom::features {
 std::vector<std::string> tokenize_metadata(std::string_view text) {
   std::vector<std::string> tokens;
   std::string current;
-  for (char c : text) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      current.push_back(
-          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  for (const char raw : text) {
+    const unsigned char c = kTokenChar[static_cast<unsigned char>(raw)];
+    if (c != 0) {
+      current.push_back(static_cast<char>(c));
     } else if (!current.empty()) {
       tokens.push_back(std::move(current));
       current.clear();
@@ -22,13 +20,35 @@ std::vector<std::string> tokenize_metadata(std::string_view text) {
   return tokens;
 }
 
-std::vector<float> token_hash_buckets(std::string_view text, int num_buckets) {
-  std::vector<float> buckets(static_cast<std::size_t>(num_buckets), 0.0f);
-  if (num_buckets <= 0) return buckets;
-  for (const auto& token : tokenize_metadata(text)) {
-    const std::uint64_t h = common::fnv1a(token);
-    buckets[h % static_cast<std::uint64_t>(num_buckets)] += 1.0f;
+void accumulate_token_hash_buckets(std::string_view text,
+                                   common::Span<float> out) {
+  if (out.empty()) return;
+  const auto num_buckets = static_cast<std::uint64_t>(out.size());
+  // Streaming FNV-1a over the lowercased token bytes: folding byte-by-byte
+  // is exactly hashing the materialized lowercased token string.
+  std::uint64_t h = common::kFnv1aOffsetBasis;
+  bool in_token = false;
+  for (const char raw : text) {
+    const unsigned char c = kTokenChar[static_cast<unsigned char>(raw)];
+    if (c != 0) {
+      h ^= c;
+      h *= common::kFnv1aPrime;
+      in_token = true;
+    } else if (in_token) {
+      out[static_cast<std::size_t>(h % num_buckets)] += 1.0f;
+      h = common::kFnv1aOffsetBasis;
+      in_token = false;
+    }
   }
+  if (in_token) out[static_cast<std::size_t>(h % num_buckets)] += 1.0f;
+}
+
+std::vector<float> token_hash_buckets(std::string_view text, int num_buckets) {
+  if (num_buckets <= 0) return {};
+  std::vector<float> buckets(static_cast<std::size_t>(num_buckets), 0.0f);
+  accumulate_token_hash_buckets(text,
+                                common::Span<float>(buckets.data(),
+                                                    buckets.size()));
   return buckets;
 }
 

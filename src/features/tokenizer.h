@@ -1,20 +1,58 @@
 // Execution-metadata tokenization (paper Table 3): metadata strings are
 // sequences of key elements separated by non-alphanumeric characters.
+//
+// Character classification is a static 256-entry lookup table, NOT
+// std::isalnum/std::tolower: those consult the process's global C locale,
+// so the same trace could tokenize (and therefore hash, bucket, and rank)
+// differently across libc configurations. The table pins the "C"-locale
+// semantics — ASCII [0-9a-zA-Z] are token characters, uppercase folds to
+// lowercase, every other byte (including all non-ASCII bytes) is a
+// delimiter — on every host.
 #pragma once
 
+#include <array>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/span.h"
+
 namespace byom::features {
 
-// Splits on every non-alphanumeric character; drops empty tokens and
-// lowercases (metadata casing is not meaningful).
+namespace detail {
+constexpr unsigned char token_char(unsigned int c) {
+  if (c >= '0' && c <= '9') return static_cast<unsigned char>(c);
+  if (c >= 'a' && c <= 'z') return static_cast<unsigned char>(c);
+  if (c >= 'A' && c <= 'Z') return static_cast<unsigned char>(c - 'A' + 'a');
+  return 0;
+}
+constexpr std::array<unsigned char, 256> make_token_char_table() {
+  std::array<unsigned char, 256> table{};
+  for (unsigned int c = 0; c < 256; ++c) table[c] = token_char(c);
+  return table;
+}
+}  // namespace detail
+
+// kTokenChar[b] is the lowercased character when byte `b` is ASCII
+// alphanumeric and 0 (delimiter) otherwise. Locale-independent by
+// construction.
+inline constexpr std::array<unsigned char, 256> kTokenChar =
+    detail::make_token_char_table();
+
+// Splits on every non-alphanumeric byte; drops empty tokens and lowercases
+// (metadata casing is not meaningful).
 std::vector<std::string> tokenize_metadata(std::string_view text);
 
 // Hashing-trick representation: token counts folded into `num_buckets`
 // buckets via FNV-1a.
 std::vector<float> token_hash_buckets(std::string_view text, int num_buckets);
+
+// Zero-allocation variant: folds token counts into out[0..out.size())
+// (which the caller must have zeroed), hashing each token on the fly from
+// the string_view — no intermediate token vector, no bucket vector.
+// Bit-identical to token_hash_buckets(text, out.size()).
+void accumulate_token_hash_buckets(std::string_view text,
+                                   common::Span<float> out);
 
 // Whole-string identity hash scaled to [0, 1) — lets trees isolate
 // recurring metadata values without a vocabulary.

@@ -61,12 +61,11 @@ bool PlacementService::enqueue(const trace::Job& job) {
     // flush event would just fire on an empty queue, one wasted heap event
     // per arrival.
     flush_event_pending_ = true;
-    config_.clock->schedule(
+    config_.clock->schedule_typed(
         config_.clock->now() + config_.virtual_flush_deadline,
-        sim::SimClock::kHintReadyPriority, [this] {
-          flush_event_pending_ = false;
-          batcher_.drain();
-        });
+        sim::SimClock::kHintReadyPriority,
+        sim::SimClock::EventKind::kBatcherFlush,
+        &PlacementService::on_flush_event, this);
   }
   return true;
 }
@@ -171,6 +170,17 @@ void PlacementService::publish_virtual(std::uint64_t job_id, int category,
   virtual_latency_max_s_ = std::max(virtual_latency_max_s_, virtual_latency);
 }
 
+void PlacementService::on_hint_ready_event(void* ctx, std::uint64_t job_id,
+                                           double) {
+  static_cast<PlacementService*>(ctx)->deliver_virtual(job_id);
+}
+
+void PlacementService::on_flush_event(void* ctx, std::uint64_t, double) {
+  auto* service = static_cast<PlacementService*>(ctx);
+  service->flush_event_pending_ = false;
+  service->batcher_.drain();
+}
+
 void PlacementService::deliver_virtual(std::uint64_t job_id) {
   // Hint-ready event: move the in-flight hint into the published table. If
   // the consumer already took it mid-wait (or it was never computed) there
@@ -195,7 +205,8 @@ void PlacementService::execute_batch(std::vector<InferenceRequest>&& batch) {
   jobs.reserve(batch.size());
   for (const auto& request : batch) jobs.push_back(request.job);
   const core::CategoryHints hints = core::precompute_categories(
-      *registry_, jobs, config_.fallback_num_categories);
+      *registry_, jobs, config_.fallback_num_categories,
+      config_.feature_matrix.get());
 
   if (virtual_time()) {
     const double now = config_.clock->now();
@@ -219,8 +230,10 @@ void PlacementService::execute_batch(std::vector<InferenceRequest>&& batch) {
                            InFlightHint{hints.at(job_id), ready, latency,
                                         /*missed=*/false});
       }
-      config_.clock->schedule(ready, sim::SimClock::kHintReadyPriority,
-                              [this, job_id] { deliver_virtual(job_id); });
+      config_.clock->schedule_typed(ready, sim::SimClock::kHintReadyPriority,
+                                    sim::SimClock::EventKind::kHintReady,
+                                    &PlacementService::on_hint_ready_event,
+                                    this, job_id);
     }
     return;
   }

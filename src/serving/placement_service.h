@@ -50,6 +50,7 @@
 
 #include "core/byom.h"
 #include "core/category_provider.h"
+#include "features/feature_matrix.h"
 #include "serving/batcher.h"
 #include "serving/inference_queue.h"
 #include "serving/latency_model.h"
@@ -72,6 +73,11 @@ struct PlacementServiceConfig {
   // Jobs whose workload has no model in the registry are served the robust
   // hash fallback over this N (mirrors core::precompute_categories).
   int fallback_num_categories = 15;
+  // Optional shared pre-extracted feature matrix for the trace being
+  // served: batch execution reads its contiguous rows instead of
+  // re-extracting each requested job (bit-identical results). Immutable, so
+  // worker threads share it without locking.
+  features::FeatureMatrixPtr feature_matrix;
   // Deterministic mode only: when false, provider lookups do NOT drain the
   // queue — pending requests never complete, so every lookup declines.
   // Exists to test deadline-miss/fallback accounting deterministically.
@@ -198,6 +204,10 @@ class PlacementService {
   void publish_virtual(std::uint64_t job_id, int category,
                        double virtual_latency);
   void deliver_virtual(std::uint64_t job_id);
+  // Typed SimClock trampolines (virtual-time mode): hint-ready delivery and
+  // the batcher's virtual flush deadline, dispatched with zero allocation.
+  static void on_hint_ready_event(void* ctx, std::uint64_t job_id, double);
+  static void on_flush_event(void* ctx, std::uint64_t, double);
   std::optional<int> wait_for_virtual(std::uint64_t job_id);
   void worker_loop();
 

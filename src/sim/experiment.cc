@@ -125,6 +125,22 @@ bool MethodFactory::uses_custom_backends(const MakeOptions& options) {
          !options.pipeline_backends.empty();
 }
 
+bool MethodFactory::method_uses_feature_matrix(MethodId id,
+                                               const MakeOptions& options) {
+  switch (id) {
+    case MethodId::kAdaptiveServed:
+    case MethodId::kAdaptiveServedLatency:
+      // Both serving paths hand the matrix to PlacementService.
+      return true;
+    case MethodId::kAdaptiveRanking:
+      // Only the registry-routed (custom-backend) chain precomputes hints
+      // through the matrix; the default chain uses the shared GBDT table.
+      return uses_custom_backends(options);
+    default:
+      return false;
+  }
+}
+
 core::BackendConfig MethodFactory::backend_config() const {
   core::BackendConfig config;
   config.model = model_config_;
@@ -211,6 +227,34 @@ core::ModelBackendPtr MethodFactory::pipeline_backend(
   return backend_cache_.emplace(key, std::move(backend)).first->second;
 }
 
+features::FeatureMatrixPtr MethodFactory::feature_matrix(
+    const trace::Trace& test) const {
+  TraceIdentity identity;
+  identity.trace = &test;
+  identity.size = test.size();
+  if (!test.empty()) {
+    identity.first_job_id = test.jobs().front().job_id;
+    identity.last_job_id = test.jobs().back().job_id;
+  }
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    for (const auto& [key, matrix] : matrix_cache_) {
+      if (key == identity) return matrix;
+    }
+  }
+  // Extract outside the lock (the scan is O(jobs x features)); first
+  // insert wins if two cells raced — extraction is deterministic, so
+  // either instance is correct.
+  auto matrix = features::make_feature_matrix(features::FeatureExtractor{},
+                                              test.jobs());
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  for (const auto& [key, cached] : matrix_cache_) {
+    if (key == identity) return cached;
+  }
+  matrix_cache_.emplace_back(identity, matrix);
+  return matrix;
+}
+
 std::shared_ptr<core::ShardedModelRegistry> MethodFactory::make_registry(
     const MakeOptions& options) const {
   auto registry = std::make_shared<core::ShardedModelRegistry>();
@@ -283,7 +327,8 @@ core::CategoryProviderPtr MethodFactory::make_provider(
         auto registry = make_registry(options);
         auto hints = std::make_shared<const core::CategoryHints>(
             core::precompute_categories(*registry, test.jobs(),
-                                        adaptive.num_categories));
+                                        adaptive.num_categories,
+                                        feature_matrix(test).get()));
         return core::make_fallback_chain(
             {core::make_precomputed_provider(std::move(hints),
                                              "registry-batched"),
@@ -322,6 +367,7 @@ core::CategoryProviderPtr MethodFactory::make_provider(
       config.queue_capacity = std::max<std::size_t>(1024, test.size());
       config.max_batch = 256;
       config.fallback_num_categories = adaptive.num_categories;
+      config.feature_matrix = feature_matrix(test);
       auto service = std::make_shared<serving::PlacementService>(
           registry, config);
       service->enqueue_all(test.jobs());
@@ -358,6 +404,7 @@ PolicyContext MethodFactory::make_served_latency_context(
   config.queue_capacity = std::max<std::size_t>(1024, test.size());
   config.max_batch = 256;
   config.fallback_num_categories = adaptive.num_categories;
+  config.feature_matrix = feature_matrix(test);
   config.clock = context.clock;
   config.latency_model =
       options.hint_latency > 0.0

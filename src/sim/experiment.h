@@ -37,6 +37,7 @@
 #include "core/model_registry.h"
 #include "core/staleness.h"
 #include "cost/cost_model.h"
+#include "features/feature_matrix.h"
 #include "policy/adaptive.h"
 #include "policy/lifetime_ml.h"
 #include "policy/policy.h"
@@ -182,6 +183,25 @@ class MethodFactory {
   std::shared_ptr<core::ShardedModelRegistry> make_registry(
       const MakeOptions& options) const;
 
+  // The shared per-trace feature matrix: each distinct test trace is
+  // extracted exactly once (cached by trace identity) and the contiguous
+  // row-major block is shared by every cell, method, backend, and served
+  // request that consumes Table-2 features — instead of re-tokenizing the
+  // same jobs per cell. Thread-safe; parallel cells share one instance.
+  features::FeatureMatrixPtr feature_matrix(const trace::Trace& test) const;
+
+  // True when the cell's backend selection differs from the plain shared
+  // GBDT, in which case the method routes through a registry provider (and
+  // the provider chain precomputes hints through the shared feature
+  // matrix). The single source of truth for that routing decision.
+  static bool uses_custom_backends(const MakeOptions& options);
+  // True when building this method's provider chain reads the shared
+  // per-trace feature matrix — kept next to the provider construction so
+  // ExperimentRunner's warm-up (which pre-extracts the matrix for such
+  // cells) can never drift from it.
+  static bool method_uses_feature_matrix(MethodId id,
+                                         const MakeOptions& options);
+
   // Pre-trains whatever `id` needs (category model, lifetime baseline) so
   // parallel cells share finished artifacts instead of serializing on the
   // training lock mid-run.
@@ -228,9 +248,6 @@ class MethodFactory {
   PolicyContext make_served_latency_context(
       const trace::Trace& test, const policy::AdaptiveConfig& adaptive,
       const MakeOptions& options) const;
-  // True when the cell's backend selection differs from the plain shared
-  // GBDT (and the method must route through a registry provider).
-  static bool uses_custom_backends(const MakeOptions& options);
   // The shared BackendConfig backends are trained with.
   core::BackendConfig backend_config() const;
   // This pipeline's slice of the training history (cached: retrain events
@@ -270,6 +287,25 @@ class MethodFactory {
   mutable std::map<std::string,
                    std::shared_ptr<const std::vector<trace::Job>>>
       history_cache_;
+  // Cheap fingerprint for "is this the same test trace I already
+  // extracted?" — the borrowed pointer alone could be reused by a later
+  // allocation, so the size and boundary job ids are checked too.
+  struct TraceIdentity {
+    const void* trace = nullptr;
+    std::size_t size = 0;
+    std::uint64_t first_job_id = 0;
+    std::uint64_t last_job_id = 0;
+    bool operator==(const TraceIdentity& other) const {
+      return trace == other.trace && size == other.size &&
+             first_job_id == other.first_job_id &&
+             last_job_id == other.last_job_id;
+    }
+  };
+  // Extracted-once feature matrices per test trace (see feature_matrix).
+  // A handful of traces per factory, so a flat vector beats a map. Guarded
+  // by model_mutex_.
+  mutable std::vector<std::pair<TraceIdentity, features::FeatureMatrixPtr>>
+      matrix_cache_;
   // Trained-once prototype; make() hands out cheap copies (the policy is
   // stateless after construction but each simulation owns its instance).
   mutable std::shared_ptr<const policy::LifetimeMlPolicy> ml_baseline_;

@@ -1,48 +1,55 @@
 #include "sim/sim_clock.h"
 
-#include <stdexcept>
 #include <utility>
 
 namespace byom::sim {
+
+void SimClock::run_pooled_fn(void* ctx, std::uint64_t slot, double) {
+  auto* clock = static_cast<SimClock*>(ctx);
+  const auto index = static_cast<std::uint32_t>(slot);
+  // Move the closure out and free its slot *before* invoking: the closure
+  // may schedule further pooled events, which can then recycle this slot.
+  EventFn fn = std::move(clock->fn_pool_[index]);
+  clock->fn_pool_[index] = nullptr;
+  clock->fn_free_.push_back(index);
+  fn();
+}
 
 std::uint64_t SimClock::schedule(double time, int priority, EventFn fn) {
   if (!fn) {
     throw std::invalid_argument("SimClock::schedule: null event function");
   }
-  Event event;
-  event.time = time < now_ ? now_ : time;
-  event.priority = priority;
-  event.seq = next_seq_++;
-  event.fn = std::move(fn);
-  const std::uint64_t seq = event.seq;
-  heap_.push(std::move(event));
-  return seq;
-}
-
-bool SimClock::run_next() {
-  if (heap_.empty()) return false;
-  // Copy out before popping: the event may schedule new events.
-  Event event = heap_.top();
-  heap_.pop();
-  advance_to(event.time);
-  ++processed_;
-  event.fn();
-  return true;
-}
-
-std::size_t SimClock::run_until(double time) {
-  std::size_t executed = 0;
-  while (!heap_.empty() && heap_.top().time <= time) {
-    run_next();
-    ++executed;
+  if (priority < 0 || priority > 255) {
+    // Validate before pooling: schedule_typed would throw anyway, but by
+    // then the closure would already occupy a pool slot and leak.
+    throw std::invalid_argument(
+        "SimClock::schedule: priority outside [0, 255]");
   }
-  advance_to(time);
-  return executed;
+  std::uint32_t slot;
+  if (!fn_free_.empty()) {
+    slot = fn_free_.back();
+    fn_free_.pop_back();
+    fn_pool_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(fn_pool_.size());
+    fn_pool_.push_back(std::move(fn));
+  }
+  return schedule_typed(time, priority, EventKind::kCallback,
+                        &SimClock::run_pooled_fn, this, slot);
+}
+
+void SimClock::reserve(std::size_t events) {
+  heap_.reserve(events);
+  fn_pool_.reserve(events);
+  fn_free_.reserve(events);
 }
 
 std::size_t SimClock::run_all() {
   std::size_t executed = 0;
-  while (run_next()) ++executed;
+  while (!heap_.empty()) {
+    dispatch(pop_front());
+    ++executed;
+  }
   return executed;
 }
 

@@ -7,18 +7,30 @@
 // arrive *after* the placement decision that wanted it, and the whole run
 // stays bit-reproducible regardless of host speed or thread count.
 //
+// Event representation: the hot path schedules *typed* events — a 40-byte
+// POD carrying a flat trampoline (plain function pointer), a context
+// pointer, one payload word (released bytes, job id, ...), and a packed
+// (priority, sequence, kind) ordering key — pushed into a contiguous 4-ary
+// min-heap. Scheduling is a push into a flat arena: no std::function
+// construction, no per-event heap allocation, no virtual dispatch. The
+// std::function overload `schedule(time, fn)` is kept as an escape hatch
+// for tests and one-off callers; its closures live in a pooled free-list of
+// slots and are dispatched through the same typed heap, so mixing the two
+// keeps the global event order.
+//
 // Determinism contract: events execute in (time, priority, sequence) order.
 // `priority` breaks ties at equal timestamps between event kinds (capacity
 // releases before retrains before hint deliveries before arrivals — the
-// order the synchronous reference simulator implies), and the monotonically
-// increasing sequence number breaks the remaining ties by schedule order.
-// Nothing about execution depends on wall-clock time or scheduling jitter.
+// order the synchronous reference simulator implies; priorities must fit in
+// [0, 255]), and the monotonically increasing sequence number breaks the
+// remaining ties by schedule order. Nothing about execution depends on
+// wall-clock time or scheduling jitter.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <stdexcept>
 #include <vector>
 
 namespace byom::sim {
@@ -26,6 +38,21 @@ namespace byom::sim {
 class SimClock {
  public:
   using EventFn = std::function<void()>;
+  // Typed-event trampoline: `ctx` is the scheduling subsystem's own object
+  // (simulation engine, placement service, ...), `arg` one payload word,
+  // `time` the virtual instant the event was scheduled to fire at.
+  using Handler = void (*)(void* ctx, std::uint64_t arg, double time);
+
+  // What a typed event *is* — the tag is carried for introspection and
+  // debugging; dispatch goes through the stored trampoline, so SimClock
+  // never depends on the subsystems that schedule on it.
+  enum class EventKind : std::uint8_t {
+    kRelease,       // SSD capacity released at a job's eviction/end time
+    kRetrain,       // model retrain instant on the staleness schedule
+    kHintReady,     // a served category hint becomes visible to consumers
+    kBatcherFlush,  // virtual-time batcher flush deadline
+    kCallback,      // pooled std::function escape hatch
+  };
 
   // Tie-break ranks for events scheduled at the same virtual time. Lower
   // runs first. The ordering mirrors the synchronous simulator: capacity
@@ -47,21 +74,46 @@ class SimClock {
     if (time > now_) now_ = time;
   }
 
-  // Schedules `fn` at virtual `time` (clamped to now() — an event scheduled
-  // in the past fires "immediately", at the current time). Returns the
-  // event's sequence number.
+  // Schedules a typed event at virtual `time` (clamped to now() — an event
+  // scheduled in the past fires "immediately", at the current time).
+  // Zero-allocation in steady state: one POD push into the flat heap.
+  // Returns the event's sequence number. Inline (with the heap ops below):
+  // the replay loop schedules and pops one event per job, so the whole
+  // push/sift/pop cycle must inline into the caller.
+  std::uint64_t schedule_typed(double time, int priority, EventKind kind,
+                               Handler handler, void* ctx,
+                               std::uint64_t arg = 0);
+
+  // Escape hatch: schedules an arbitrary closure through the pooled
+  // free-list (tests, one-off callers). Same heap, same ordering contract.
   std::uint64_t schedule(double time, int priority, EventFn fn);
   std::uint64_t schedule(double time, EventFn fn) {
     return schedule(time, kDefaultPriority, std::move(fn));
   }
 
+  // Pre-sizes the event arena (heap + closure pool) so a replay of known
+  // size never reallocates mid-run.
+  void reserve(std::size_t events);
+
   // Pops and runs the earliest pending event, advancing now() to its time.
   // Returns false when no events are pending.
-  bool run_next();
+  bool run_next() {
+    if (heap_.empty()) return false;
+    dispatch(pop_front());
+    return true;
+  }
 
   // Runs every event with time <= `time` (in order), then advances now()
   // to `time`. Returns the number of events executed.
-  std::size_t run_until(double time);
+  std::size_t run_until(double time) {
+    std::size_t executed = 0;
+    while (!heap_.empty() && heap_[0].time <= time) {
+      dispatch(pop_front());
+      ++executed;
+    }
+    advance_to(time);
+    return executed;
+  }
 
   // Runs events until none are pending (events may schedule further
   // events). Returns the number executed.
@@ -71,24 +123,112 @@ class SimClock {
   std::uint64_t processed() const { return processed_; }
 
  private:
+  // Packed ordering key: priority in the top 8 bits, the 48-bit sequence
+  // number next, the kind tag in the low 8 bits (below the sequence, so it
+  // never influences order — sequences are unique). One integer compare
+  // settles every time tie.
   struct Event {
     double time = 0.0;
-    int priority = kDefaultPriority;
-    std::uint64_t seq = 0;
-    EventFn fn;
+    std::uint64_t order = 0;
+    Handler handler = nullptr;
+    void* ctx = nullptr;
+    std::uint64_t arg = 0;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.seq > b.seq;
+  static constexpr int kPriorityShift = 56;
+  static constexpr int kSeqShift = 8;
+
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;
+  }
+
+  // 4-ary min-heap over the flat event vector: shallower than a binary
+  // heap and cache-friendlier for the POD events the replay hot loop
+  // pushes/pops once per job.
+  void sift_up(std::size_t index) {
+    const Event event = heap_[index];
+    while (index > 0) {
+      const std::size_t parent = (index - 1) >> 2;
+      if (!earlier(event, heap_[parent])) break;
+      heap_[index] = heap_[parent];
+      index = parent;
     }
-  };
+    heap_[index] = event;
+  }
+
+  void sift_down_from_root() {
+    const std::size_t n = heap_.size();
+    const Event event = heap_[0];
+    std::size_t index = 0;
+    for (;;) {
+      const std::size_t first_child = (index << 2) + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child =
+          first_child + 4 < n ? first_child + 4 : n;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], event)) break;
+      heap_[index] = heap_[best];
+      index = best;
+    }
+    heap_[index] = event;
+  }
+
+  Event pop_front() {
+    const Event front = heap_[0];
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down_from_root();
+    return front;
+  }
+
+  void dispatch(const Event& event) {
+    advance_to(event.time);
+    ++processed_;
+    event.handler(event.ctx, event.arg, event.time);
+  }
+
+  // Trampoline for the escape hatch: moves the pooled closure out of its
+  // slot (freeing the slot for events the closure may itself schedule),
+  // then invokes it.
+  static void run_pooled_fn(void* ctx, std::uint64_t slot, double time);
 
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
+  // Closure pool for the escape hatch: slot indices recycle through the
+  // free list, so steady-state schedule(fn) reuses storage instead of
+  // allocating a fresh node per event.
+  std::vector<EventFn> fn_pool_;
+  std::vector<std::uint32_t> fn_free_;
 };
+
+inline std::uint64_t SimClock::schedule_typed(double time, int priority,
+                                              EventKind kind, Handler handler,
+                                              void* ctx, std::uint64_t arg) {
+  if (handler == nullptr) {
+    throw std::invalid_argument("SimClock::schedule_typed: null handler");
+  }
+  if (priority < 0 || priority > 255) {
+    // The packed ordering key gives priority 8 bits; anything outside
+    // would silently wrap and corrupt the determinism contract.
+    throw std::invalid_argument(
+        "SimClock::schedule_typed: priority outside [0, 255]");
+  }
+  const std::uint64_t seq = next_seq_++;
+  Event event;
+  event.time = time < now_ ? now_ : time;
+  event.order = (static_cast<std::uint64_t>(priority) << kPriorityShift) |
+                (seq << kSeqShift) | static_cast<std::uint64_t>(kind);
+  event.handler = handler;
+  event.ctx = ctx;
+  event.arg = arg;
+  heap_.push_back(event);
+  sift_up(heap_.size() - 1);
+  return seq;
+}
 
 }  // namespace byom::sim

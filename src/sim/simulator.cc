@@ -21,6 +21,13 @@ struct Engine {
   SimResult* result = nullptr;
   std::uint64_t ssd_used = 0;
 
+  // Typed release payload: the bytes to hand back at the event instant.
+  // A POD push into the clock's flat heap — no closure, no allocation.
+  static void on_release(void* ctx, std::uint64_t bytes, double) {
+    auto* engine = static_cast<Engine*>(ctx);
+    engine->ssd_used -= std::min(engine->ssd_used, bytes);
+  }
+
   void on_arrival(const trace::Job& job) {
     if (config->hint_service) {
       // The online submit path: the inference request enters the serving
@@ -61,10 +68,9 @@ struct Engine {
 
       if (placed > 0) {
         ssd_used += placed;
-        clock->schedule(release_time, SimClock::kReleasePriority,
-                        [this, placed] {
-                          ssd_used -= std::min(ssd_used, placed);
-                        });
+        clock->schedule_typed(release_time, SimClock::kReleasePriority,
+                              SimClock::EventKind::kRelease,
+                              &Engine::on_release, this, placed);
         result->peak_ssd_used_bytes =
             std::max(result->peak_ssd_used_bytes, ssd_used);
       }
@@ -94,6 +100,18 @@ struct Engine {
   }
 };
 
+// Typed retrain payload: swap the model at the event instant, count it.
+struct RetrainSink {
+  core::StalenessSchedule* schedule = nullptr;
+  SimResult* result = nullptr;
+
+  static void on_retrain(void* ctx, std::uint64_t, double time) {
+    auto* sink = static_cast<RetrainSink*>(ctx);
+    sink->schedule->on_retrain(time);
+    ++sink->result->retrain_events;
+  }
+};
+
 }  // namespace
 
 SimResult simulate(const trace::Trace& trace, policy::PlacementPolicy& policy,
@@ -107,6 +125,10 @@ SimResult simulate(const trace::Trace& trace, policy::PlacementPolicy& policy,
   // staleness schedule) or a private one for plain replays.
   SimClock local_clock;
   SimClock* clock = config.clock ? config.clock.get() : &local_clock;
+  // Pre-size the event arena: at most one pending release per live job
+  // (hint-ready/retrain events ride on top with room to spare), so the
+  // replay itself never reallocates the heap mid-run.
+  clock->reserve(trace.size() + 64);
 
   Engine engine;
   engine.config = &config;
@@ -118,14 +140,13 @@ SimResult simulate(const trace::Trace& trace, policy::PlacementPolicy& policy,
   // Retrain events: one per period across the replayed window. A retrain at
   // time t swaps the fresh model in before any decision at t
   // (kRetrainPriority < kArrivalPriority).
+  RetrainSink retrain_sink{config.staleness.get(), &result};
   if (config.staleness) {
-    core::StalenessSchedule* schedule = config.staleness.get();
-    for (const double t :
-         schedule->retrain_times(trace.start_time(), trace.end_time())) {
-      clock->schedule(t, SimClock::kRetrainPriority, [schedule, &result, t] {
-        schedule->on_retrain(t);
-        ++result.retrain_events;
-      });
+    for (const double t : config.staleness->retrain_times(trace.start_time(),
+                                                          trace.end_time())) {
+      clock->schedule_typed(t, SimClock::kRetrainPriority,
+                            SimClock::EventKind::kRetrain,
+                            &RetrainSink::on_retrain, &retrain_sink);
     }
   }
 

@@ -85,6 +85,56 @@ TEST(Tokenizer, IdentityHashDistinguishes) {
             identity_hash_feature("pipeline-b"));
 }
 
+TEST(Tokenizer, ClassificationTableIsLocaleIndependent) {
+  // The static table pins "C"-locale semantics on every host: exactly
+  // ASCII [0-9a-zA-Z] are token characters (uppercase folded), and every
+  // non-ASCII byte is a delimiter — even under libc locales whose
+  // isalnum() would accept Latin-1 letters.
+  for (int b = 0; b < 256; ++b) {
+    const bool ascii_alnum = (b >= '0' && b <= '9') ||
+                             (b >= 'a' && b <= 'z') ||
+                             (b >= 'A' && b <= 'Z');
+    if (!ascii_alnum) {
+      EXPECT_EQ(kTokenChar[static_cast<std::size_t>(b)], 0) << "byte " << b;
+    } else if (b >= 'A' && b <= 'Z') {
+      EXPECT_EQ(kTokenChar[static_cast<std::size_t>(b)], b - 'A' + 'a');
+    } else {
+      EXPECT_EQ(kTokenChar[static_cast<std::size_t>(b)], b);
+    }
+  }
+}
+
+TEST(Tokenizer, NonAsciiBytesSplitTokens) {
+  // UTF-8 "é" (0xC3 0xA9) behaves like any delimiter pair.
+  const std::string text = std::string("caf\xC3\xA9") + "Shop";
+  const auto tokens = tokenize_metadata(text);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "caf");
+  EXPECT_EQ(tokens[1], "shop");
+  // High-bit bytes alone produce no tokens.
+  EXPECT_TRUE(tokenize_metadata("\xC3\xA9\xFF\x80").empty());
+}
+
+TEST(Tokenizer, StreamingBucketsMatchMaterializedTokenization) {
+  const char* samples[] = {
+      "org_adslogs.streamshuffle-p3-prod.dataimporter",
+      "//storage/buildmanager:target",
+      "GroupByKey-22",
+      "caf\xC3\xA9Shop--multi..byte\xFFsplit",
+      "",
+      "---...__",
+  };
+  for (const char* sample : samples) {
+    for (const int buckets : {1, 4, 8}) {
+      const auto materialized = token_hash_buckets(sample, buckets);
+      std::vector<float> streamed(static_cast<std::size_t>(buckets), 0.0f);
+      accumulate_token_hash_buckets(
+          sample, common::Span<float>(streamed.data(), streamed.size()));
+      EXPECT_EQ(materialized, streamed) << sample << " x " << buckets;
+    }
+  }
+}
+
 // ----------------------------------------------------------------- history
 
 TEST(History, EmptySnapshotHasNoHistory) {

@@ -1,0 +1,327 @@
+// Hot-path regression suite for the typed pooled event engine and the
+// zero-allocation feature pipeline:
+//   * allocation-count guards (a global operator new hook) pinning the
+//     "zero steady-state heap allocations" contract of
+//     FeatureExtractor::extract_into and SimClock::schedule_typed;
+//   * bit-identity of the new paths against their references — matrix rows
+//     vs extract(), precompute_categories with vs without the shared
+//     FeatureMatrix for every backend kind, and the event engine vs the
+//     synchronous oracle with non-default (registry/matrix-routed)
+//     backends.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/byom.h"
+#include "core/model_backend.h"
+#include "core/model_registry.h"
+#include "features/feature_extractor.h"
+#include "features/feature_matrix.h"
+#include "sim/experiment.h"
+#include "sim/sim_clock.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+// ---------------------------------------------------- allocation hook
+// Counts every scalar/array heap allocation in this binary; tests sample
+// the counter around hot regions to assert steady-state allocation freedom.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace byom {
+namespace {
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+trace::TrainTestSplit& split() {
+  static trace::TrainTestSplit s = [] {
+    trace::GeneratorConfig cfg = trace::canonical_cluster_config(0, 9090);
+    cfg.num_pipelines = 10;
+    cfg.duration = 5.0 * 86400.0;
+    return trace::split_train_test(trace::generate_cluster_trace(cfg));
+  }();
+  return s;
+}
+
+core::BackendConfig small_backend_config() {
+  core::BackendConfig config;
+  config.model.num_categories = 6;
+  config.model.gbdt.num_rounds = 5;
+  return config;
+}
+
+// ---------------------------------------------------- allocation guards
+
+TEST(AllocationGuard, ExtractIntoIsAllocationFreeInSteadyState) {
+  const features::FeatureExtractor extractor;
+  const auto& jobs = split().test.jobs();
+  ASSERT_FALSE(jobs.empty());
+  std::vector<float> row(extractor.num_features());
+  const common::Span<float> out(row.data(), row.size());
+
+  extractor.extract_into(jobs.front(), out);  // warm-up
+  const std::uint64_t before = allocations();
+  for (const auto& job : jobs) extractor.extract_into(job, out);
+  EXPECT_EQ(allocations(), before)
+      << "extract_into allocated on the per-job path";
+}
+
+TEST(AllocationGuard, TypedEventSchedulingIsAllocationFreeInSteadyState) {
+  sim::SimClock clock;
+  clock.reserve(512);
+  static std::uint64_t sink = 0;
+  const auto handler = [](void*, std::uint64_t arg, double) { sink += arg; };
+
+  const auto round = [&](int events) {
+    for (int i = 0; i < events; ++i) {
+      clock.schedule_typed(clock.now() + static_cast<double>(i % 5),
+                           sim::SimClock::kReleasePriority,
+                           sim::SimClock::EventKind::kRelease, +handler,
+                           nullptr, static_cast<std::uint64_t>(i));
+    }
+    clock.run_all();
+  };
+
+  round(256);  // warm-up: heap at capacity
+  const std::uint64_t before = allocations();
+  for (int r = 0; r < 8; ++r) round(256);
+  EXPECT_EQ(allocations(), before)
+      << "typed event scheduling allocated in steady state";
+}
+
+TEST(AllocationGuard, PooledEscapeHatchReusesSlotsInSteadyState) {
+  // The std::function escape hatch is not allocation-free (capturing
+  // closures may allocate), but its slot storage must recycle: scheduling
+  // capture-light closures round after round settles to zero allocations
+  // once the pool is warm.
+  sim::SimClock clock;
+  clock.reserve(64);
+  static std::uint64_t sink = 0;
+  const auto round = [&] {
+    for (int i = 0; i < 32; ++i) {
+      clock.schedule(clock.now() + 1.0, [] { ++sink; });
+    }
+    clock.run_all();
+  };
+  round();  // warm-up: pool + heap at capacity
+  const std::uint64_t before = allocations();
+  for (int r = 0; r < 4; ++r) round();
+  EXPECT_EQ(allocations(), before)
+      << "pooled escape-hatch slots were not reused";
+}
+
+// ---------------------------------------------------- typed event engine
+
+TEST(TypedEvents, InterleaveWithEscapeHatchBySequence) {
+  sim::SimClock clock;
+  std::vector<int> order;
+  const auto record = [](void* ctx, std::uint64_t arg, double) {
+    static_cast<std::vector<int>*>(ctx)->push_back(static_cast<int>(arg));
+  };
+  clock.schedule_typed(1.0, sim::SimClock::kArrivalPriority,
+                       sim::SimClock::EventKind::kRelease, +record, &order, 0);
+  clock.schedule(1.0, sim::SimClock::kArrivalPriority,
+                 [&order] { order.push_back(1); });
+  clock.schedule_typed(1.0, sim::SimClock::kArrivalPriority,
+                       sim::SimClock::EventKind::kHintReady, +record, &order,
+                       2);
+  clock.schedule(1.0, sim::SimClock::kArrivalPriority,
+                 [&order] { order.push_back(3); });
+  EXPECT_EQ(clock.run_all(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TypedEvents, PriorityStillOutranksSequenceAcrossKinds) {
+  sim::SimClock clock;
+  std::vector<int> order;
+  const auto record = [](void* ctx, std::uint64_t arg, double) {
+    static_cast<std::vector<int>*>(ctx)->push_back(static_cast<int>(arg));
+  };
+  clock.schedule_typed(2.0, sim::SimClock::kArrivalPriority,
+                       sim::SimClock::EventKind::kCallback, +record, &order,
+                       3);
+  clock.schedule_typed(2.0, sim::SimClock::kHintReadyPriority,
+                       sim::SimClock::EventKind::kBatcherFlush, +record,
+                       &order, 2);
+  clock.schedule_typed(2.0, sim::SimClock::kRetrainPriority,
+                       sim::SimClock::EventKind::kRetrain, +record, &order, 1);
+  clock.schedule_typed(2.0, sim::SimClock::kReleasePriority,
+                       sim::SimClock::EventKind::kRelease, +record, &order, 0);
+  clock.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TypedEvents, RejectsPrioritiesOutsideThePackedRange) {
+  // The packed ordering key gives priority 8 bits; out-of-range values
+  // must throw instead of silently wrapping and reordering events.
+  sim::SimClock clock;
+  const auto noop = [](void*, std::uint64_t, double) {};
+  EXPECT_THROW(clock.schedule_typed(0.0, -1, sim::SimClock::EventKind::kRelease,
+                                    +noop, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(clock.schedule_typed(0.0, 256,
+                                    sim::SimClock::EventKind::kRelease, +noop,
+                                    nullptr),
+               std::invalid_argument);
+  EXPECT_EQ(clock.pending(), 0u);
+}
+
+TEST(TypedEvents, HandlerReceivesScheduledTime) {
+  sim::SimClock clock;
+  double fired_at = -1.0;
+  const auto record = [](void* ctx, std::uint64_t, double time) {
+    *static_cast<double*>(ctx) = time;
+  };
+  clock.schedule_typed(4.5, sim::SimClock::kDefaultPriority,
+                       sim::SimClock::EventKind::kCallback, +record,
+                       &fired_at);
+  clock.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 4.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 4.5);
+}
+
+// ---------------------------------------------------- feature bit-identity
+
+TEST(FeatureMatrixIdentity, RowsMatchExtractExactly) {
+  const features::FeatureExtractor extractor;
+  const auto& jobs = split().test.jobs();
+  const features::FeatureMatrix matrix(extractor, jobs);
+  ASSERT_EQ(matrix.num_rows(), jobs.size());
+  ASSERT_EQ(matrix.num_features(), extractor.num_features());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto reference = extractor.extract(jobs[i]);
+    const float* row = matrix.row(i);
+    for (std::size_t f = 0; f < reference.size(); ++f) {
+      ASSERT_EQ(row[f], reference[f]) << "row " << i << " feature " << f;
+    }
+    EXPECT_EQ(matrix.find(jobs[i].job_id), row);
+  }
+  EXPECT_EQ(matrix.find(~0ULL), nullptr);
+}
+
+TEST(FeatureMatrixIdentity, PrecomputeWithMatrixMatchesWithoutPerBackend) {
+  const auto& jobs = split().test.jobs();
+  const features::FeatureMatrix matrix(features::FeatureExtractor{}, jobs);
+  for (const core::BackendKind kind :
+       {core::BackendKind::kGbdt, core::BackendKind::kLogistic,
+        core::BackendKind::kFrequency}) {
+    SCOPED_TRACE(core::backend_kind_name(kind));
+    core::ModelRegistry registry;
+    registry.set_default_model(core::train_backend(kind, split().train.jobs(),
+                                                   small_backend_config()));
+    const auto plain = core::precompute_categories(registry, jobs, 6);
+    const auto shared = core::precompute_categories(registry, jobs, 6,
+                                                    &matrix);
+    EXPECT_EQ(plain, shared);
+  }
+}
+
+TEST(FeatureMatrixIdentity, JobsOutsideTheMatrixFallBackToExtraction) {
+  const auto& jobs = split().test.jobs();
+  ASSERT_GE(jobs.size(), 8u);
+  // Matrix over the first half only: the second half must still predict
+  // identically via the extraction fallback.
+  const std::vector<trace::Job> half(jobs.begin(),
+                                     jobs.begin() + jobs.size() / 2);
+  const features::FeatureMatrix matrix(features::FeatureExtractor{}, half);
+  core::ModelRegistry registry;
+  registry.set_default_model(core::train_backend(
+      core::BackendKind::kGbdt, split().train.jobs(), small_backend_config()));
+  EXPECT_EQ(core::precompute_categories(registry, jobs, 6),
+            core::precompute_categories(registry, jobs, 6, &matrix));
+}
+
+TEST(FeatureMatrixIdentity, SchemaMismatchedMatrixIsIgnoredSafely) {
+  const auto& jobs = split().test.jobs();
+  // A matrix built with a different bucket count has a different width;
+  // backends must detect the mismatch and extract instead of misreading.
+  const features::FeatureMatrix narrow(features::FeatureExtractor{2}, jobs);
+  core::ModelRegistry registry;
+  registry.set_default_model(core::train_backend(
+      core::BackendKind::kGbdt, split().train.jobs(), small_backend_config()));
+  EXPECT_EQ(core::precompute_categories(registry, jobs, 6),
+            core::precompute_categories(registry, jobs, 6, &narrow));
+}
+
+TEST(FeatureMatrixIdentity, ModelPredictCategoriesOverloadMatches) {
+  static const core::CategoryModel model = [] {
+    core::CategoryModelConfig config;
+    config.num_categories = 6;
+    config.gbdt.num_rounds = 5;
+    return core::CategoryModel::train(split().train.jobs(), config);
+  }();
+  const auto& jobs = split().test.jobs();
+  const features::FeatureMatrix matrix(model.extractor(), jobs);
+  EXPECT_EQ(model.predict_categories(jobs),
+            model.predict_categories(jobs, &matrix));
+}
+
+// ------------------------------------------- engine + pipeline end to end
+
+// The acceptance oracle extended to registry/matrix-routed backends: with a
+// non-default backend the AdaptiveRanking provider chain precomputes hints
+// through the shared FeatureMatrix, and the typed event engine must still
+// replay byte-for-byte like the synchronous reference loop.
+TEST(EventEngineIdentity, MatrixRoutedBackendsMatchSynchronousOracle) {
+  static const sim::MethodFactory factory = [] {
+    core::CategoryModelConfig config;
+    config.num_categories = 6;
+    config.gbdt.num_rounds = 5;
+    return sim::MethodFactory(split().train, cost::Rates{}, config);
+  }();
+  const auto cap = sim::quota_capacity(split().test, 0.05);
+  sim::SimConfig config;
+  config.ssd_capacity_bytes = cap;
+  config.record_outcomes = true;
+  for (const core::BackendKind kind :
+       {core::BackendKind::kLogistic, core::BackendKind::kFrequency}) {
+    SCOPED_TRACE(core::backend_kind_name(kind));
+    sim::MakeOptions options;
+    options.backend = kind;
+    const auto event_policy = factory.make(sim::MethodId::kAdaptiveRanking,
+                                           split().test, cap, options);
+    const auto sync_policy = factory.make(sim::MethodId::kAdaptiveRanking,
+                                          split().test, cap, options);
+    const auto event_result = simulate(split().test, *event_policy, config);
+    const auto sync_result =
+        simulate_synchronous(split().test, *sync_policy, config);
+    EXPECT_EQ(event_result.tco_actual, sync_result.tco_actual);
+    EXPECT_EQ(event_result.tcio_actual_seconds,
+              sync_result.tcio_actual_seconds);
+    EXPECT_EQ(event_result.jobs_scheduled_ssd,
+              sync_result.jobs_scheduled_ssd);
+    EXPECT_EQ(event_result.peak_ssd_used_bytes,
+              sync_result.peak_ssd_used_bytes);
+    ASSERT_EQ(event_result.outcomes.size(), sync_result.outcomes.size());
+    for (std::size_t i = 0; i < event_result.outcomes.size(); ++i) {
+      EXPECT_EQ(event_result.outcomes[i].scheduled,
+                sync_result.outcomes[i].scheduled);
+      EXPECT_EQ(event_result.outcomes[i].spill_fraction,
+                sync_result.outcomes[i].spill_fraction);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace byom

@@ -9,6 +9,7 @@
 
 #include "core/byom.h"
 #include "core/category_provider.h"
+#include "features/feature_matrix.h"
 #include "serving/batcher.h"
 #include "serving/inference_queue.h"
 #include "serving/placement_service.h"
@@ -381,6 +382,49 @@ TEST(PlacementService, ThreadedModeServesHintsBeforeDeadline) {
   // Threaded mode accounts wall-clock only; the virtual counters must
   // never mix into it.
   EXPECT_EQ(stats.virtual_latency_total_s, 0.0);
+}
+
+// The shared pre-extracted FeatureMatrix is immutable and read concurrently
+// by every worker thread executing batches (and by the producers' enqueue
+// path); hints must still match per-job model inference exactly. The tsan
+// CI job runs this suite, covering the shared-matrix accesses.
+TEST(PlacementService, ThreadedWorkersShareFeatureMatrix) {
+  auto& f = fixture();
+  const auto count = static_cast<std::ptrdiff_t>(
+      std::min<std::size_t>(256, f.split.test.size()));
+  const std::vector<trace::Job> jobs(f.split.test.jobs().begin(),
+                                     f.split.test.jobs().begin() + count);
+
+  PlacementServiceConfig config;
+  config.num_threads = 2;
+  config.queue_capacity = 1024;
+  config.max_batch = 32;
+  config.flush_deadline = milliseconds(1);
+  config.request_deadline = milliseconds(5000);  // generous: no misses
+  config.fallback_num_categories = f.model->num_categories();
+  config.feature_matrix =
+      features::make_feature_matrix(f.model->extractor(), jobs);
+  PlacementService service(f.registry, config);
+
+  // Two producers enqueue disjoint halves while the workers drain.
+  const std::size_t half = jobs.size() / 2;
+  std::thread first([&] {
+    for (std::size_t i = 0; i < half; ++i) service.enqueue(jobs[i]);
+  });
+  std::thread second([&] {
+    for (std::size_t i = half; i < jobs.size(); ++i) service.enqueue(jobs[i]);
+  });
+  first.join();
+  second.join();
+
+  for (const auto& job : jobs) {
+    const auto served = service.wait_for(job.job_id);
+    ASSERT_TRUE(served.has_value());
+    EXPECT_EQ(*served, f.model->predict_category(job));
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.hits, jobs.size());
+  EXPECT_EQ(stats.misses, 0u);
 }
 
 // ------------------------------------------------------ provider equivalence

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Reduce a google-benchmark JSON report to a compact, committable summary.
+
+Usage:
+    bench_summary.py RAW_JSON [-o OUTPUT_JSON] [--note KEY=VALUE]...
+
+Reads the file produced by
+    bench_microbench --benchmark_out=raw.json --benchmark_out_format=json
+and writes a stable, diff-friendly summary: per-benchmark timings plus the
+derived hot-path ratios the ROADMAP tracks (event-engine overhead vs the
+synchronous simulator, typed vs pooled-callback event scheduling, in-place
+vs allocating feature extraction). The summary is committed as
+BENCH_microbench.json so the perf trajectory is visible PR-over-PR; the CI
+release-bench job regenerates it and uploads both files as artifacts for
+comparison against the committed numbers.
+"""
+
+import argparse
+import json
+import sys
+
+# (numerator, denominator, key) pairs reported under "derived" when both
+# sides are present in the run.
+RATIOS = [
+    ("BM_SimulatorReplay", "BM_SimulatorReplaySynchronous",
+     "event_engine_overhead_x"),
+    ("BM_EventScheduleCallback", "BM_EventScheduleTyped",
+     "callback_vs_typed_schedule_x"),
+    ("BM_FeatureExtract", "BM_FeatureExtractInto",
+     "extract_vs_extract_into_x"),
+    ("BM_InferencePerJob", "BM_InferenceBatch", "per_job_vs_batch_x"),
+]
+
+
+_NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def time_ns(run, field):
+    """`field` of `run` normalized to nanoseconds via the run's time_unit."""
+    return float(run[field]) * _NS_PER_UNIT[run.get("time_unit", "ns")]
+
+
+def load_runs(report):
+    """Benchmark name -> run dict, preferring *_mean aggregates."""
+    runs = {}
+    for run in report.get("benchmarks", []):
+        name = run.get("name", "")
+        if run.get("run_type") == "aggregate":
+            if run.get("aggregate_name") != "mean":
+                continue
+            name = run.get("run_name", name.rsplit("_", 1)[0])
+        runs[name] = run
+    return runs
+
+
+def summarize(report, notes):
+    runs = load_runs(report)
+    benchmarks = {}
+    for name in sorted(runs):
+        run = runs[name]
+        entry = {
+            "real_time_ns": round(time_ns(run, "real_time"), 1),
+            "cpu_time_ns": round(time_ns(run, "cpu_time"), 1),
+        }
+        if "items_per_second" in run:
+            entry["items_per_second"] = round(float(run["items_per_second"]))
+        benchmarks[name] = entry
+
+    derived = {}
+    for numerator, denominator, key in RATIOS:
+        if numerator in runs and denominator in runs:
+            num = time_ns(runs[numerator], "real_time")
+            den = time_ns(runs[denominator], "real_time")
+            if den > 0.0:
+                derived[key] = round(num / den, 3)
+
+    summary = {
+        "source": "bench_microbench (google-benchmark JSON)",
+        "benchmarks": benchmarks,
+        "derived": derived,
+    }
+    if notes:
+        summary["notes"] = notes
+    return summary
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("raw", help="google-benchmark JSON report")
+    parser.add_argument("-o", "--output", default="BENCH_microbench.json")
+    parser.add_argument(
+        "--note", action="append", default=[], metavar="KEY=VALUE",
+        help="annotation embedded under 'notes' (repeatable)")
+    args = parser.parse_args(argv)
+
+    with open(args.raw, "r", encoding="utf-8") as f:
+        report = json.load(f)
+
+    notes = {}
+    for note in args.note:
+        key, _, value = note.partition("=")
+        if not key or not value:
+            parser.error(f"--note must be KEY=VALUE, got {note!r}")
+        notes[key] = value
+
+    summary = summarize(report, notes)
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}: {len(summary['benchmarks'])} benchmarks, "
+          f"{len(summary['derived'])} derived ratios")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
