@@ -30,9 +30,18 @@ void ShardedModelRegistry::register_model(const std::string& pipeline_name,
   }
   Shard& shard = shard_for(pipeline_name);
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
-    shard.models[pipeline_name] = std::move(backend);
+    // Copy-on-write under the writer-only mutex: readers keep resolving
+    // against the old snapshot until the atomic_store below publishes the
+    // new one; the old map is reclaimed when its last reader drops it.
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    const ModelMapPtr current = std::atomic_load(&shard.snapshot);
+    auto next = current ? std::make_shared<ModelMap>(*current)
+                        : std::make_shared<ModelMap>();
+    (*next)[pipeline_name] = std::move(backend);
+    std::atomic_store_explicit(&shard.snapshot, ModelMapPtr(std::move(next)),
+                               std::memory_order_release);
   }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   swaps_.fetch_add(1);
 }
 
@@ -47,6 +56,7 @@ void ShardedModelRegistry::set_default_model(ModelBackendPtr backend) {
     throw std::invalid_argument("set_default_model: null backend");
   }
   std::atomic_store(&default_model_, std::move(backend));
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   swaps_.fetch_add(1);
 }
 
@@ -57,10 +67,10 @@ void ShardedModelRegistry::set_default_model(
 
 ModelBackendPtr ShardedModelRegistry::lookup(const trace::Job& job) const {
   const Shard& shard = shard_for(job.pipeline_name);
-  {
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
-    const auto it = shard.models.find(job.pipeline_name);
-    if (it != shard.models.end()) return it->second;
+  if (const ModelMapPtr snapshot = std::atomic_load_explicit(
+          &shard.snapshot, std::memory_order_acquire)) {
+    const auto it = snapshot->find(job.pipeline_name);
+    if (it != snapshot->end()) return it->second;
   }
   return std::atomic_load(&default_model_);
 }
@@ -68,8 +78,10 @@ ModelBackendPtr ShardedModelRegistry::lookup(const trace::Job& job) const {
 std::size_t ShardedModelRegistry::num_models() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mutex);
-    total += shard->models.size();
+    if (const ModelMapPtr snapshot = std::atomic_load_explicit(
+            &shard->snapshot, std::memory_order_acquire)) {
+      total += snapshot->size();
+    }
   }
   return total;
 }

@@ -1,10 +1,21 @@
 // ShardedModelRegistry — the per-workload model store of the BYOM design,
 // rebuilt for a serving fleet: striped shards keyed by a hash of the
 // pipeline name (so registrations for different workloads never contend),
-// reader-writer locking per shard, and hot-swap semantics — register_model
-// atomically replaces the backend serving a pipeline while concurrent
-// lookups from PlacementService worker threads keep running on whichever
-// backend they already hold.
+// epoch-based RCU-style publication per shard, and hot-swap semantics —
+// register_model atomically replaces the backend serving a pipeline while
+// concurrent lookups from PlacementService worker threads keep running on
+// whichever backend they already hold.
+//
+// Read path (the million-RPS serving contract): lookup() takes NO lock.
+// Each shard publishes an immutable snapshot of its pipeline->backend map
+// through an atomic shared_ptr slot; readers atomic_load the current
+// snapshot and search it. Writers copy the snapshot, mutate the copy, and
+// atomic_store it back under a writer-only mutex, then advance the global
+// epoch counter — the ScaleStore optimistic-latching idea translated to
+// shared_ptr RCU: the grace period is "last reader drops its snapshot", at
+// which point the superseded map (and any backend only it referenced) is
+// reclaimed. A reader can therefore never observe a torn map or a
+// stale-freed backend, and a hot-swap can never stall the read path.
 //
 // Safety contract: lookup() returns a shared_ptr, never a raw pointer. A
 // reader that resolved a backend keeps it alive for the duration of its
@@ -23,7 +34,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,7 +52,8 @@ class ShardedModelRegistry {
 
   // Installs (or hot-swaps) the backend serving one workload (pipeline).
   // Safe to call while other threads lookup(): readers either see the old
-  // backend or the new one, never a torn state.
+  // snapshot or the new one, never a torn state, and never block on the
+  // swap.
   void register_model(const std::string& pipeline_name,
                       ModelBackendPtr backend);
   // Convenience: wraps a trained CategoryModel in the GBDT backend.
@@ -53,8 +65,9 @@ class ShardedModelRegistry {
   void set_default_model(std::shared_ptr<const CategoryModel> model);
 
   // The backend responsible for this job: exact pipeline match, else the
-  // default, else nullptr. The returned handle stays valid across
-  // concurrent re-registrations (see header comment).
+  // default, else nullptr. Lock-free — reads the shard's epoch-published
+  // snapshot. The returned handle stays valid across concurrent
+  // re-registrations (see header comment).
   ModelBackendPtr lookup(const trace::Job& job) const;
 
   std::size_t num_models() const;
@@ -63,11 +76,23 @@ class ShardedModelRegistry {
   // Total successful register_model/set_default_model installations —
   // retrain machinery and tests use this to prove swaps really happened.
   std::uint64_t swap_count() const { return swaps_.load(); }
+  // Publication epoch: advanced after every snapshot/default swap, so
+  // readers (and tests) can cheaply detect "the registry changed since I
+  // last looked" without touching any shard.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
  private:
+  using ModelMap = std::unordered_map<std::string, ModelBackendPtr>;
+  using ModelMapPtr = std::shared_ptr<const ModelMap>;
+
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<std::string, ModelBackendPtr> models;
+    // Serializes writers only; readers never touch it.
+    std::mutex write_mutex;
+    // Immutable epoch-published snapshot; accessed with
+    // std::atomic_load/atomic_store. Null until the first registration.
+    ModelMapPtr snapshot;
   };
 
   Shard& shard_for(const std::string& pipeline_name) const;
@@ -77,6 +102,7 @@ class ShardedModelRegistry {
   std::vector<std::unique_ptr<Shard>> shards_;
   ModelBackendPtr default_model_;  // accessed via std::atomic_load/store
   std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 // The historical name: everything upstream of the registry (providers,

@@ -27,6 +27,13 @@
 
 namespace byom::framework {
 
+// Shard-per-core wiring for sharded services (serving::PlacementService,
+// future fleet components): resolves a requested shard count, where 0 means
+// "one shard per hardware core" (at least 1). Centralized here so every
+// sharded subsystem sizes itself the same way the experiment engine sizes
+// its worker pool.
+std::size_t resolve_shard_count(std::size_t requested);
+
 class ThreadPool {
  public:
   // `num_threads == 0` uses the hardware concurrency (at least 1).

@@ -1,101 +1,184 @@
 #include "serving/inference_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace byom::serving {
 
-InferenceRequestQueue::InferenceRequestQueue(std::size_t capacity)
-    : capacity_(capacity) {
+namespace {
+
+// SplitMix64 finalizer: spreads sequential job ids across stripes without
+// correlating with the service-level fnv1a(job_key) shard routing.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+InferenceRequestQueue::InferenceRequestQueue(std::size_t capacity,
+                                             std::size_t num_stripes)
+    : stripe_capacity_(num_stripes == 0
+                           ? 0
+                           : std::max<std::size_t>(
+                                 1, (capacity + num_stripes - 1) /
+                                        num_stripes)) {
   if (capacity == 0) {
     throw std::invalid_argument("InferenceRequestQueue: capacity >= 1");
   }
+  if (num_stripes == 0) {
+    throw std::invalid_argument("InferenceRequestQueue: num_stripes >= 1");
+  }
+  stripes_.reserve(num_stripes);
+  for (std::size_t i = 0; i < num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+std::size_t InferenceRequestQueue::stripe_of(std::uint64_t job_id) const {
+  if (stripes_.size() == 1) return 0;
+  return static_cast<std::size_t>(mix(job_id) % stripes_.size());
+}
+
+void InferenceRequestQueue::notify_not_empty() {
+  // The empty critical section pairs with the consumer's predicate check
+  // under gate_mutex_: once we hold the gate, any consumer that saw the
+  // queue empty is already inside wait() and will receive the notify.
+  { std::lock_guard<std::mutex> gate(gate_mutex_); }
+  not_empty_.notify_one();
 }
 
 bool InferenceRequestQueue::try_push(InferenceRequest request) {
+  Stripe& stripe = *stripes_[stripe_of(request.job.job_id)];
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (shutdown_ || items_.size() >= capacity_) return false;
-    items_.push_back(std::move(request));
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (shutdown_.load(std::memory_order_acquire) ||
+        stripe.items.size() >= stripe_capacity_) {
+      return false;
+    }
+    stripe.items.push_back(std::move(request));
+    // size_ changes only alongside its item, under the item's stripe lock,
+    // so the aggregate can never go negative-transient (underflow).
+    size_.fetch_add(1, std::memory_order_release);
   }
-  not_empty_.notify_one();
+  notify_not_empty();
   return true;
 }
 
 bool InferenceRequestQueue::push(InferenceRequest request) {
+  Stripe& stripe = *stripes_[stripe_of(request.job.job_id)];
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return shutdown_ || items_.size() < capacity_; });
-    if (shutdown_) return false;
-    items_.push_back(std::move(request));
+    std::unique_lock<std::mutex> lock(stripe.mutex);
+    stripe.not_full.wait(lock, [&] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             stripe.items.size() < stripe_capacity_;
+    });
+    if (shutdown_.load(std::memory_order_acquire)) return false;
+    stripe.items.push_back(std::move(request));
+    size_.fetch_add(1, std::memory_order_release);
   }
-  not_empty_.notify_one();
+  notify_not_empty();
   return true;
+}
+
+std::size_t InferenceRequestQueue::sweep(std::vector<InferenceRequest>& out,
+                                         std::size_t max_batch) {
+  const std::size_t n = stripes_.size();
+  const std::size_t start =
+      n == 1 ? 0 : cursor_.fetch_add(1, std::memory_order_relaxed) % n;
+  std::size_t popped = 0;
+  for (std::size_t k = 0; k < n && popped < max_batch; ++k) {
+    Stripe& stripe = *stripes_[(start + k) % n];
+    std::size_t from_stripe = 0;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      while (popped < max_batch && !stripe.items.empty()) {
+        out.push_back(std::move(stripe.items.front()));
+        stripe.items.pop_front();
+        size_.fetch_sub(1, std::memory_order_release);
+        ++popped;
+        ++from_stripe;
+      }
+    }
+    if (from_stripe > 0) stripe.not_full.notify_all();
+  }
+  return popped;
 }
 
 std::optional<InferenceRequest> InferenceRequestQueue::pop(
     std::chrono::milliseconds wait) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait_for(lock, wait,
-                      [this] { return shutdown_ || !items_.empty(); });
-  if (items_.empty()) return std::nullopt;
-  InferenceRequest request = std::move(items_.front());
-  items_.pop_front();
-  lock.unlock();
-  not_full_.notify_one();
-  return request;
+  std::vector<InferenceRequest> out;
+  if (pop_batch(out, 1, wait) == 0) return std::nullopt;
+  return std::move(out.front());
 }
 
 std::size_t InferenceRequestQueue::pop_batch(
     std::vector<InferenceRequest>& out, std::size_t max_batch,
     std::chrono::milliseconds wait) {
   if (max_batch == 0) return 0;
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait_for(lock, wait,
-                      [this] { return shutdown_ || !items_.empty(); });
-  return pop_batch_locked(out, max_batch, lock);
+  const auto deadline = std::chrono::steady_clock::now() + wait;
+  for (;;) {
+    const std::size_t popped = sweep(out, max_batch);
+    if (popped > 0) return popped;
+    std::unique_lock<std::mutex> gate(gate_mutex_);
+    if (shutdown_.load(std::memory_order_acquire) &&
+        size_.load(std::memory_order_acquire) == 0) {
+      return 0;
+    }
+    if (!not_empty_.wait_until(gate, deadline, [this] {
+          return shutdown_.load(std::memory_order_acquire) ||
+                 size_.load(std::memory_order_acquire) > 0;
+        })) {
+      // Timed out: one last non-blocking attempt in case a push raced the
+      // timeout.
+      gate.unlock();
+      return sweep(out, max_batch);
+    }
+    // Woken (or the predicate already held): loop and sweep again — another
+    // consumer may have raced us to the items.
+  }
 }
 
 std::size_t InferenceRequestQueue::pop_batch(
     std::vector<InferenceRequest>& out, std::size_t max_batch) {
   if (max_batch == 0) return 0;
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [this] { return shutdown_ || !items_.empty(); });
-  return pop_batch_locked(out, max_batch, lock);
-}
-
-std::size_t InferenceRequestQueue::pop_batch_locked(
-    std::vector<InferenceRequest>& out, std::size_t max_batch,
-    std::unique_lock<std::mutex>& lock) {
-  std::size_t popped = 0;
-  while (popped < max_batch && !items_.empty()) {
-    out.push_back(std::move(items_.front()));
-    items_.pop_front();
-    ++popped;
+  for (;;) {
+    const std::size_t popped = sweep(out, max_batch);
+    if (popped > 0) return popped;
+    std::unique_lock<std::mutex> gate(gate_mutex_);
+    if (shutdown_.load(std::memory_order_acquire) &&
+        size_.load(std::memory_order_acquire) == 0) {
+      return 0;
+    }
+    not_empty_.wait(gate, [this] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             size_.load(std::memory_order_acquire) > 0;
+    });
   }
-  lock.unlock();
-  if (popped > 0) not_full_.notify_all();
-  return popped;
 }
 
 void InferenceRequestQueue::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& stripe : stripes_) {
+    // Empty critical section: a producer between its shutdown check and
+    // wait() holds the stripe mutex, so once we acquire it the producer is
+    // inside wait() and the notify below reaches it.
+    { std::lock_guard<std::mutex> lock(stripe->mutex); }
+    stripe->not_full.notify_all();
   }
+  { std::lock_guard<std::mutex> gate(gate_mutex_); }
   not_empty_.notify_all();
-  not_full_.notify_all();
 }
 
 bool InferenceRequestQueue::shut_down() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return shutdown_;
+  return shutdown_.load(std::memory_order_acquire);
 }
 
 std::size_t InferenceRequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return items_.size();
+  return size_.load(std::memory_order_acquire);
 }
 
 }  // namespace byom::serving

@@ -1,19 +1,39 @@
-// Bounded MPMC queue of category-inference requests — the entry point of
-// the online serving loop (request queue -> batcher -> model) that keeps
-// model inference off the storage layer's critical path, as the paper's
-// production design requires.
+// Bounded lock-striped MPMC queue of category-inference requests — the
+// entry point of the online serving loop (request queue -> batcher -> model)
+// that keeps model inference off the storage layer's critical path, as the
+// paper's production design requires.
 //
 // Any number of producers (job submission paths) push requests; any number
-// of consumers (Batcher workers) pop them in FIFO order, individually or in
-// batches. The queue is bounded so a stalled model back-pressures producers
-// instead of growing without limit; try_push() lets callers degrade to the
-// fallback provider rather than block.
+// of consumers (Batcher workers) pop them, individually or in batches. The
+// queue is bounded so a stalled model back-pressures producers instead of
+// growing without limit; try_push() lets callers degrade to the fallback
+// provider rather than block.
+//
+// Striping (the million-RPS serving path): the queue is built from
+// `num_stripes` independent deques, each behind its own mutex, with requests
+// mapped to a stripe by a mix of their job id. Producers landing on
+// different stripes never contend on a lock; consumers sweep the stripes
+// from a rotating cursor so they spread across them too. The only shared
+// lock is a "gate" mutex that an *idle* consumer takes to block on the
+// not-empty condition — producers touch it only for an empty
+// lock/unlock pair before notifying, so under load the gate is never
+// contended. With num_stripes == 1 (the default) the queue degenerates to
+// the classic single-mutex bounded queue and keeps its strict global FIFO.
+//
+// Ordering contract: FIFO *per stripe*. Requests that map to the same
+// stripe are popped in push order; requests on different stripes have no
+// relative order. Capacity is split evenly across stripes
+// (ceil(capacity / num_stripes) each), so the bound is also per stripe —
+// a hot stripe back-pressures without consuming the whole budget.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -34,12 +54,17 @@ struct InferenceRequest {
 
 class InferenceRequestQueue {
  public:
-  explicit InferenceRequestQueue(std::size_t capacity);
+  // `capacity` is the total bound, split evenly across `num_stripes`
+  // independently locked stripes (>= 1 slot each).
+  explicit InferenceRequestQueue(std::size_t capacity,
+                                 std::size_t num_stripes = 1);
 
-  // Non-blocking push; false when the queue is full or shut down.
+  // Non-blocking push; false when the request's stripe is full or the queue
+  // is shut down.
   bool try_push(InferenceRequest request);
 
-  // Blocking push; waits while the queue is full. False once shut down.
+  // Blocking push; waits while the request's stripe is full. False once
+  // shut down.
   bool push(InferenceRequest request);
 
   // Pops one request, waiting up to `wait` for one to arrive. Empty optional
@@ -63,21 +88,39 @@ class InferenceRequestQueue {
   bool shut_down() const;
 
   std::size_t size() const;
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const { return stripe_capacity_ * stripes_.size(); }
+  std::size_t num_stripes() const { return stripes_.size(); }
+  // The stripe a request with this job id lands on — exposed so tests can
+  // assert the FIFO-per-stripe and per-stripe-bound contracts.
+  std::size_t stripe_of(std::uint64_t job_id) const;
 
  private:
-  // Shared tail of both pop_batch variants: drains up to `max_batch` items
-  // under `lock`, then releases it to notify producers.
-  std::size_t pop_batch_locked(std::vector<InferenceRequest>& out,
-                               std::size_t max_batch,
-                               std::unique_lock<std::mutex>& lock);
+  struct Stripe {
+    mutable std::mutex mutex;
+    // Per-stripe so a blocking producer waits on its own stripe's slot.
+    std::condition_variable not_full;
+    std::deque<InferenceRequest> items;
+  };
 
-  const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  // Pops up to `max_batch` requests into `out`, sweeping every stripe once
+  // from the rotating cursor. Lock scope is one stripe at a time.
+  std::size_t sweep(std::vector<InferenceRequest>& out, std::size_t max_batch);
+  // Gate-synchronized wakeup of one idle consumer (see header comment).
+  void notify_not_empty();
+
+  const std::size_t stripe_capacity_;
+  // unique_ptr per stripe: Stripe holds a mutex and must not move when the
+  // vector is built.
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::size_t> cursor_{0};
+
+  // Consumers' idle block only: producers take it for an empty critical
+  // section before notifying so a consumer between its predicate check and
+  // wait() cannot miss the wakeup.
+  mutable std::mutex gate_mutex_;
   std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<InferenceRequest> items_;
-  bool shutdown_ = false;
 };
 
 }  // namespace byom::serving

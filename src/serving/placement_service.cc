@@ -5,62 +5,99 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/rng.h"
+#include "framework/thread_pool.h"
+
 namespace byom::serving {
+
+namespace {
+
+// Validates and resolves the config once, before the const member is
+// initialized: num_shards == 0 becomes one shard per hardware core.
+PlacementServiceConfig resolve_config(PlacementServiceConfig config) {
+  config.num_shards = framework::resolve_shard_count(config.num_shards);
+  if (config.fallback_num_categories < 2) {
+    throw std::invalid_argument("PlacementService: fallback N >= 2 required");
+  }
+  if (config.clock) {
+    if (config.num_threads != 0) {
+      throw std::invalid_argument(
+          "PlacementService: virtual-time mode requires num_threads == 0");
+    }
+    if (config.num_shards != 1) {
+      throw std::invalid_argument(
+          "PlacementService: virtual-time mode requires num_shards == 1 "
+          "(simulation cells stay on the single-lane path)");
+    }
+  }
+  return config;
+}
+
+}  // namespace
+
+PlacementService::Shard::Shard(PlacementService* service,
+                               const PlacementServiceConfig& config)
+    : queue(config.queue_capacity, config.queue_stripes),
+      batcher(&queue, BatcherConfig{config.max_batch, config.flush_deadline},
+              [service, this](std::vector<InferenceRequest>&& batch) {
+                service->execute_batch(*this, std::move(batch));
+              }) {}
 
 PlacementService::PlacementService(
     std::shared_ptr<const core::ModelRegistry> registry,
     const PlacementServiceConfig& config)
-    : config_(config),
-      registry_(std::move(registry)),
-      queue_(config.queue_capacity),
-      batcher_(&queue_, BatcherConfig{config.max_batch, config.flush_deadline},
-               [this](std::vector<InferenceRequest>&& batch) {
-                 execute_batch(std::move(batch));
-               }) {
+    : config_(resolve_config(config)), registry_(std::move(registry)) {
   if (!registry_) {
     throw std::invalid_argument("PlacementService: null registry");
   }
-  if (config_.fallback_num_categories < 2) {
-    throw std::invalid_argument("PlacementService: fallback N >= 2 required");
+  shards_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(this, config_));
   }
-  if (config_.clock && config_.num_threads != 0) {
-    throw std::invalid_argument(
-        "PlacementService: virtual-time mode requires num_threads == 0");
-  }
-  workers_.reserve(config_.num_threads);
-  for (std::size_t i = 0; i < config_.num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  for (auto& shard : shards_) {
+    shard->workers.reserve(config_.num_threads);
+    for (std::size_t i = 0; i < config_.num_threads; ++i) {
+      shard->workers.emplace_back([this, s = shard.get()] { worker_loop(*s); });
+    }
   }
 }
 
 PlacementService::~PlacementService() { shutdown(); }
 
-void PlacementService::worker_loop() {
-  while (batcher_.run_once()) {
+void PlacementService::worker_loop(Shard& shard) {
+  while (shard.batcher.run_once()) {
   }
 }
 
+std::size_t PlacementService::shard_of(std::string_view job_key) const {
+  return shards_.size() == 1
+             ? 0
+             : static_cast<std::size_t>(common::fnv1a(job_key) %
+                                        shards_.size());
+}
+
 bool PlacementService::enqueue(const trace::Job& job) {
+  Shard& shard = shard_for(job);
   InferenceRequest request;
   request.job = job;
   request.enqueued_at = std::chrono::steady_clock::now();
   if (virtual_time()) {
     request.virtual_enqueued_at = config_.clock->now();
   }
-  if (!queue_.try_push(std::move(request))) {
-    dropped_.fetch_add(1);
+  if (!shard.queue.try_push(std::move(request))) {
+    shard.dropped.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  enqueued_.fetch_add(1);
+  shard.enqueued.fetch_add(1, std::memory_order_relaxed);
   if (virtual_time() && config_.virtual_flush_deadline > 0.0 &&
-      !config_.drain_on_lookup && !flush_event_pending_) {
+      !config_.drain_on_lookup && !shard.flush_event_pending) {
     // The batcher's flush deadline, in virtual time: even if no consumer
     // ever asks, whatever is queued gets computed and delivered by then.
     // Only armed when lookups do NOT drain — when they do (the simulator's
     // regime), every request is computed at its consumer's decision and the
     // flush event would just fire on an empty queue, one wasted heap event
     // per arrival.
-    flush_event_pending_ = true;
+    shard.flush_event_pending = true;
     config_.clock->schedule_typed(
         config_.clock->now() + config_.virtual_flush_deadline,
         sim::SimClock::kHintReadyPriority,
@@ -80,44 +117,47 @@ std::size_t PlacementService::enqueue_all(
 }
 
 std::optional<int> PlacementService::lookup(std::uint64_t job_id) const {
-  std::lock_guard<std::mutex> lock(results_mutex_);
-  const auto it = results_.find(job_id);
-  if (it == results_.end()) return std::nullopt;
-  return it->second;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->results_mutex);
+    const auto it = shard->results.find(job_id);
+    if (it != shard->results.end()) return it->second;
+  }
+  return std::nullopt;
 }
 
 std::optional<int> PlacementService::wait_for_virtual(std::uint64_t job_id) {
+  Shard& shard = *shards_.front();  // virtual-time mode is single-shard
   const double now = config_.clock->now();
   auto hint = lookup(job_id);
   if (!hint && config_.drain_on_lookup) {
     // Compute everything queued so far; results land in the published table
     // (ready now) or the in-flight table (ready in the future).
-    batcher_.drain();
+    shard.batcher.drain();
     hint = lookup(job_id);
   }
   if (hint) {
     // Ready at or before the lookup: consumed on time.
-    hits_.fetch_add(1);
-    on_time_.fetch_add(1);
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    shard.on_time.fetch_add(1, std::memory_order_relaxed);
     return hint;
   }
   {
-    std::lock_guard<std::mutex> lock(results_mutex_);
-    const auto it = in_flight_.find(job_id);
-    if (it != in_flight_.end()) {
+    std::lock_guard<std::mutex> lock(shard.results_mutex);
+    const auto it = shard.in_flight.find(job_id);
+    if (it != shard.in_flight.end()) {
       if (it->second.ready_time <= now + config_.virtual_request_deadline) {
         // The consumer's wait budget covers the remaining latency: consume
         // the hint "mid-wait". The scheduled hint-ready event finds it
         // already published and does nothing.
         const InFlightHint ready = it->second;
-        in_flight_.erase(it);
-        results_.emplace(job_id, ready.category);
-        ++completed_;
-        virtual_latency_total_s_ += ready.virtual_latency;
-        virtual_latency_max_s_ =
-            std::max(virtual_latency_max_s_, ready.virtual_latency);
-        hits_.fetch_add(1);
-        on_time_.fetch_add(1);
+        shard.in_flight.erase(it);
+        shard.results.emplace(job_id, ready.category);
+        ++shard.completed;
+        shard.virtual_latency_total_s += ready.virtual_latency;
+        shard.virtual_latency_max_s =
+            std::max(shard.virtual_latency_max_s, ready.virtual_latency);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        shard.on_time.fetch_add(1, std::memory_order_relaxed);
         return ready.category;
       }
       // The hint cannot make the deadline: Algorithm 1 falls back now; the
@@ -125,49 +165,114 @@ std::optional<int> PlacementService::wait_for_virtual(std::uint64_t job_id) {
       it->second.missed = true;
     }
   }
-  misses_.fetch_add(1);
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
+}
+
+std::optional<int> PlacementService::wait_for_on(Shard& shard,
+                                                 std::uint64_t job_id) {
+  if (deterministic()) {
+    auto hint = [&]() -> std::optional<int> {
+      std::lock_guard<std::mutex> lock(shard.results_mutex);
+      const auto it = shard.results.find(job_id);
+      if (it == shard.results.end()) return std::nullopt;
+      return it->second;
+    }();
+    if (!hint && config_.drain_on_lookup) {
+      // Process everything queued on this shard on this thread: the "every
+      // request meets its deadline" regime, with no timing dependence.
+      shard.batcher.drain();
+      std::lock_guard<std::mutex> lock(shard.results_mutex);
+      const auto it = shard.results.find(job_id);
+      if (it != shard.results.end()) hint = it->second;
+    }
+    if (hint) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    return hint;
+  }
+
+  std::unique_lock<std::mutex> lock(shard.results_mutex);
+  const auto found = [&] {
+    return shard.results.find(job_id) != shard.results.end();
+  };
+  shard.results_cv.wait_for(lock, config_.request_deadline, found);
+  if (found()) {
+    const int category = shard.results.at(job_id);
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    return category;
+  }
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+std::optional<int> PlacementService::wait_for(const trace::Job& job) {
+  if (virtual_time()) {
+    return wait_for_virtual(job.job_id);
+  }
+  return wait_for_on(shard_for(job), job.job_id);
 }
 
 std::optional<int> PlacementService::wait_for(std::uint64_t job_id) {
   if (virtual_time()) {
     return wait_for_virtual(job_id);
   }
-  if (deterministic()) {
-    auto hint = lookup(job_id);
-    if (!hint && config_.drain_on_lookup) {
-      // Process everything queued so far on this thread: the "every request
-      // meets its deadline" regime, with no timing dependence.
-      batcher_.drain();
-      hint = lookup(job_id);
-    }
-    if (hint) {
-      hits_.fetch_add(1);
-    } else {
-      misses_.fetch_add(1);
-    }
-    return hint;
+  if (shards_.size() == 1) {
+    return wait_for_on(*shards_.front(), job_id);
   }
 
-  std::unique_lock<std::mutex> lock(results_mutex_);
-  const auto found = [&] { return results_.find(job_id) != results_.end(); };
-  results_cv_.wait_for(lock, config_.request_deadline, found);
-  if (found()) {
-    const int category = results_.at(job_id);
-    hits_.fetch_add(1);
-    return category;
+  // Id-only lookups cannot route by job key. Deterministic mode drains
+  // every shard and scans; threaded mode polls the tables until the
+  // deadline. Both attribute the hit to the owning shard (the miss to
+  // shard 0) so aggregates stay exact.
+  const auto scan = [&]() -> Shard* {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->results_mutex);
+      if (shard->results.count(job_id)) return shard.get();
+    }
+    return nullptr;
+  };
+
+  if (deterministic()) {
+    Shard* owner = scan();
+    if (!owner && config_.drain_on_lookup) {
+      for (const auto& shard : shards_) shard->batcher.drain();
+      owner = scan();
+    }
+    if (owner) {
+      owner->hits.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(owner->results_mutex);
+      return owner->results.at(job_id);
+    }
+    shards_.front()->misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
   }
-  misses_.fetch_add(1);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.request_deadline;
+  for (;;) {
+    if (Shard* owner = scan()) {
+      owner->hits.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(owner->results_mutex);
+      return owner->results.at(job_id);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  shards_.front()->misses.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 
-void PlacementService::publish_virtual(std::uint64_t job_id, int category,
-                                       double virtual_latency) {
-  std::lock_guard<std::mutex> lock(results_mutex_);
-  if (!results_.emplace(job_id, category).second) return;
-  ++completed_;
-  virtual_latency_total_s_ += virtual_latency;
-  virtual_latency_max_s_ = std::max(virtual_latency_max_s_, virtual_latency);
+void PlacementService::publish_virtual(Shard& shard, std::uint64_t job_id,
+                                       int category, double virtual_latency) {
+  std::lock_guard<std::mutex> lock(shard.results_mutex);
+  if (!shard.results.emplace(job_id, category).second) return;
+  ++shard.completed;
+  shard.virtual_latency_total_s += virtual_latency;
+  shard.virtual_latency_max_s =
+      std::max(shard.virtual_latency_max_s, virtual_latency);
 }
 
 void PlacementService::on_hint_ready_event(void* ctx, std::uint64_t job_id,
@@ -177,30 +282,34 @@ void PlacementService::on_hint_ready_event(void* ctx, std::uint64_t job_id,
 
 void PlacementService::on_flush_event(void* ctx, std::uint64_t, double) {
   auto* service = static_cast<PlacementService*>(ctx);
-  service->flush_event_pending_ = false;
-  service->batcher_.drain();
+  Shard& shard = *service->shards_.front();
+  shard.flush_event_pending = false;
+  shard.batcher.drain();
 }
 
 void PlacementService::deliver_virtual(std::uint64_t job_id) {
   // Hint-ready event: move the in-flight hint into the published table. If
   // the consumer already took it mid-wait (or it was never computed) there
   // is nothing to do.
+  Shard& shard = *shards_.front();
   InFlightHint hint;
   {
-    std::lock_guard<std::mutex> lock(results_mutex_);
-    const auto it = in_flight_.find(job_id);
-    if (it == in_flight_.end()) return;
+    std::lock_guard<std::mutex> lock(shard.results_mutex);
+    const auto it = shard.in_flight.find(job_id);
+    if (it == shard.in_flight.end()) return;
     hint = it->second;
-    in_flight_.erase(it);
+    shard.in_flight.erase(it);
   }
-  publish_virtual(job_id, hint.category, hint.virtual_latency);
-  if (hint.missed) late_.fetch_add(1);
+  publish_virtual(shard, job_id, hint.category, hint.virtual_latency);
+  if (hint.missed) shard.late.fetch_add(1, std::memory_order_relaxed);
 }
 
-void PlacementService::execute_batch(std::vector<InferenceRequest>&& batch) {
+void PlacementService::execute_batch(Shard& shard,
+                                     std::vector<InferenceRequest>&& batch) {
   // One registry-grouped predict_batch pass — the exact code path offline
   // precomputation uses, which is what makes served hints bit-identical to
-  // offline-batched hints.
+  // offline-batched hints (per-job results are independent of batch
+  // composition, so shard/stripe interleaving cannot change them).
   std::vector<trace::Job> jobs;
   jobs.reserve(batch.size());
   for (const auto& request : batch) jobs.push_back(request.job);
@@ -218,17 +327,17 @@ void PlacementService::execute_batch(std::vector<InferenceRequest>&& batch) {
               : 0.0;
       const double ready = request.virtual_enqueued_at + latency;
       if (ready <= now) {
-        publish_virtual(job_id, hints.at(job_id), latency);
+        publish_virtual(shard, job_id, hints.at(job_id), latency);
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(results_mutex_);
-        if (results_.count(job_id) || in_flight_.count(job_id)) {
+        std::lock_guard<std::mutex> lock(shard.results_mutex);
+        if (shard.results.count(job_id) || shard.in_flight.count(job_id)) {
           continue;  // duplicate request for an already-served job
         }
-        in_flight_.emplace(job_id,
-                           InFlightHint{hints.at(job_id), ready, latency,
-                                        /*missed=*/false});
+        shard.in_flight.emplace(job_id,
+                                InFlightHint{hints.at(job_id), ready, latency,
+                                             /*missed=*/false});
       }
       config_.clock->schedule_typed(ready, sim::SimClock::kHintReadyPriority,
                                     sim::SimClock::EventKind::kHintReady,
@@ -240,62 +349,97 @@ void PlacementService::execute_batch(std::vector<InferenceRequest>&& batch) {
 
   const auto now = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(results_mutex_);
+    std::lock_guard<std::mutex> lock(shard.results_mutex);
     for (const auto& request : batch) {
       // First publication wins; a duplicate request for an already-served
       // job completes without recounting stats.
-      if (!results_.emplace(request.job.job_id, hints.at(request.job.job_id))
+      if (!shard.results
+               .emplace(request.job.job_id, hints.at(request.job.job_id))
                .second) {
         continue;
       }
-      ++completed_;
+      ++shard.completed;
       const double latency_ms =
           std::chrono::duration<double, std::milli>(now - request.enqueued_at)
               .count();
-      wall_latency_total_ms_ += latency_ms;
-      wall_latency_max_ms_ = std::max(wall_latency_max_ms_, latency_ms);
+      shard.wall_latency_total_ms += latency_ms;
+      shard.wall_latency_max_ms =
+          std::max(shard.wall_latency_max_ms, latency_ms);
     }
   }
-  results_cv_.notify_all();
+  shard.results_cv.notify_all();
 }
 
 void PlacementService::shutdown() {
   std::lock_guard<std::mutex> lock(shutdown_mutex_);
-  // Drain order: (1) the queue stops accepting and wakes every blocked
-  // worker; (2) workers flush what was already accepted and exit their
-  // loop; (3) the joins below observe that exit. Only then may the service
-  // report itself shut down — an accepted request is never abandoned by a
-  // worker mid-drain.
-  queue_.shutdown();
-  for (auto& worker : workers_) {
-    if (worker.joinable()) worker.join();
+  // Drain order, for EVERY shard: (1) all queues stop accepting and wake
+  // every blocked worker; (2) each shard's workers flush what their queue
+  // already accepted and exit their loop; (3) the joins below observe those
+  // exits. Only then may the service report itself shut down — an accepted
+  // request is never abandoned by a worker mid-drain, on any shard.
+  for (auto& shard : shards_) shard->queue.shutdown();
+  for (auto& shard : shards_) {
+    for (auto& worker : shard->workers) {
+      if (worker.joinable()) worker.join();
+    }
+    // With workers the shard queue must be fully drained once they exited
+    // (run_once returns false only on shut-down-and-drained). Deterministic
+    // mode has no workers; its queues drain at lookup time.
+    assert(shard->workers.empty() || shard->queue.size() == 0);
   }
-  // With workers the queue must be fully drained once they exited
-  // (run_once returns false only on shut-down-and-drained). Deterministic
-  // mode has no workers; its queue drains at lookup time.
-  assert(workers_.empty() || queue_.size() == 0);
+}
+
+ServingStats PlacementService::shard_stats(std::size_t shard_index) const {
+  const Shard& shard = *shards_.at(shard_index);
+  ServingStats stats;
+  stats.enqueued = shard.enqueued.load(std::memory_order_relaxed);
+  stats.dropped = shard.dropped.load(std::memory_order_relaxed);
+  stats.hits = shard.hits.load(std::memory_order_relaxed);
+  stats.misses = shard.misses.load(std::memory_order_relaxed);
+  stats.on_time = shard.on_time.load(std::memory_order_relaxed);
+  stats.late = shard.late.load(std::memory_order_relaxed);
+  stats.batches = shard.batcher.batches();
+  stats.size_flushes = shard.batcher.size_flushes();
+  stats.deadline_flushes = shard.batcher.deadline_flushes();
+  {
+    std::lock_guard<std::mutex> lock(shard.results_mutex);
+    stats.completed = shard.completed;
+    stats.wall_latency_total_ms = shard.wall_latency_total_ms;
+    stats.wall_latency_max_ms = shard.wall_latency_max_ms;
+    stats.virtual_latency_total_s = shard.virtual_latency_total_s;
+    stats.virtual_latency_max_s = shard.virtual_latency_max_s;
+  }
+  return stats;
 }
 
 ServingStats PlacementService::stats() const {
-  ServingStats stats;
-  stats.enqueued = enqueued_.load();
-  stats.dropped = dropped_.load();
-  stats.hits = hits_.load();
-  stats.misses = misses_.load();
-  stats.on_time = on_time_.load();
-  stats.late = late_.load();
-  stats.batches = batcher_.batches();
-  stats.size_flushes = batcher_.size_flushes();
-  stats.deadline_flushes = batcher_.deadline_flushes();
-  {
-    std::lock_guard<std::mutex> lock(results_mutex_);
-    stats.completed = completed_;
-    stats.wall_latency_total_ms = wall_latency_total_ms_;
-    stats.wall_latency_max_ms = wall_latency_max_ms_;
-    stats.virtual_latency_total_s = virtual_latency_total_s_;
-    stats.virtual_latency_max_s = virtual_latency_max_s_;
+  ServingStats total;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ServingStats s = shard_stats(i);
+    total.enqueued += s.enqueued;
+    total.dropped += s.dropped;
+    total.completed += s.completed;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.on_time += s.on_time;
+    total.late += s.late;
+    total.batches += s.batches;
+    total.size_flushes += s.size_flushes;
+    total.deadline_flushes += s.deadline_flushes;
+    total.wall_latency_total_ms += s.wall_latency_total_ms;
+    total.wall_latency_max_ms =
+        std::max(total.wall_latency_max_ms, s.wall_latency_max_ms);
+    total.virtual_latency_total_s += s.virtual_latency_total_s;
+    total.virtual_latency_max_s =
+        std::max(total.virtual_latency_max_s, s.virtual_latency_max_s);
   }
-  return stats;
+  return total;
+}
+
+std::size_t PlacementService::pending_requests() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue.size();
+  return total;
 }
 
 namespace {
@@ -312,7 +456,7 @@ class ServedCategoryProvider final : public core::CategoryProvider {
   std::string name() const override { return "served"; }
 
   std::optional<int> category(const trace::Job& job) override {
-    return service_->wait_for(job.job_id);
+    return service_->wait_for(job);
   }
 
  private:

@@ -228,6 +228,63 @@ TEST(ShardedRegistryThreaded, LookupsRaceRegistrationsSafely) {
   EXPECT_EQ(registry.num_models(), pipelines.size());
 }
 
+// ------------------------------------------------------ epoch publication
+
+// Every successful installation — per-pipeline or default — advances the
+// global epoch, so readers can detect "registry changed since I looked"
+// without touching any shard.
+TEST(EpochPublication, EpochAdvancesOnEveryInstall) {
+  auto& f = fixture();
+  ShardedModelRegistry registry;
+  EXPECT_EQ(registry.epoch(), 0u);
+  registry.set_default_model(f.backends[0]);
+  EXPECT_EQ(registry.epoch(), 1u);
+  registry.register_model("pipeline-a", f.backends[1]);
+  EXPECT_EQ(registry.epoch(), 2u);
+  // Re-registering the same pipeline is still a publication.
+  registry.register_model("pipeline-a", f.backends[2]);
+  EXPECT_EQ(registry.epoch(), 3u);
+  EXPECT_EQ(registry.epoch(), registry.swap_count());
+}
+
+// The RCU grace-period contract: a reader that resolved a backend before a
+// hot-swap keeps a live handle until it drops it — the superseded backend
+// (the canary, tracked by weak_ptr) is reclaimed only after the last
+// in-flight reader releases it, never under the reader's feet.
+TEST(EpochPublication, HotSwapReclaimsOldBackendAfterLastReaderDrops) {
+  auto& f = fixture();
+  ShardedModelRegistry registry;
+
+  // A canary backend owned only by the registry once registered.
+  ModelBackendPtr canary = train_backend(
+      BackendKind::kFrequency, f.split.train.jobs(), small_backend_config());
+  std::weak_ptr<const ModelBackend> watch = canary;
+  trace::Job job = f.split.test.jobs().front();
+  const std::string pipeline = job.pipeline_name;
+  registry.register_model(pipeline, std::move(canary));
+
+  const std::uint64_t epoch_before = registry.epoch();
+  ModelBackendPtr in_flight = registry.lookup(job);
+  ASSERT_TRUE(in_flight);
+  ASSERT_EQ(in_flight.get(), watch.lock().get());
+
+  // Hot-swap while the reader still holds its handle.
+  registry.register_model(pipeline, f.backends[0]);
+  EXPECT_GT(registry.epoch(), epoch_before);  // publication is observable
+  // New lookups resolve the replacement immediately...
+  EXPECT_EQ(registry.lookup(job).get(), f.backends[0].get());
+  // ...while the in-flight reader's backend is alive and still answers.
+  ASSERT_FALSE(watch.expired());
+  const int category = in_flight->predict_category(job);
+  EXPECT_GE(category, 0);
+  EXPECT_LT(category, in_flight->num_categories());
+
+  // Grace period ends when the last reader drops the handle: the canary is
+  // reclaimed (nothing else references it).
+  in_flight.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
 // ------------------------------------------- retrain installs fresh backends
 
 // A retrain event on the virtual timeline must *install* a freshly trained

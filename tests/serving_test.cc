@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <stdexcept>
@@ -425,6 +426,206 @@ TEST(PlacementService, ThreadedWorkersShareFeatureMatrix) {
   const auto stats = service.stats();
   EXPECT_EQ(stats.hits, jobs.size());
   EXPECT_EQ(stats.misses, 0u);
+}
+
+// ---------------------------------------------------------- sharded serving
+
+TEST(ShardedService, ShardRoutingIsDeterministicAndInRange) {
+  auto& f = fixture();
+  auto config = f.deterministic_config();
+  config.num_shards = 4;
+  PlacementService service(f.registry, config);
+  PlacementService other(f.registry, config);
+  ASSERT_EQ(service.num_shards(), 4u);
+  for (const auto& job : f.split.test.jobs()) {
+    const std::size_t shard = service.shard_of(job.job_key);
+    EXPECT_LT(shard, 4u);
+    // Same key -> same shard in every instance (fnv1a, not a per-process
+    // seed): recurring (pipeline, step) pairs always land on warm state.
+    EXPECT_EQ(shard, service.shard_of(job.job_key));
+    EXPECT_EQ(shard, other.shard_of(job.job_key));
+  }
+}
+
+TEST(ShardedService, PerShardCountersSumToAggregate) {
+  auto& f = fixture();
+  auto config = f.deterministic_config();
+  config.num_shards = 4;
+  config.queue_stripes = 2;
+  PlacementService service(f.registry, config);
+  const auto& jobs = f.split.test.jobs();
+  ASSERT_EQ(service.enqueue_all(jobs), jobs.size());
+  for (const auto& job : jobs) {
+    ASSERT_TRUE(service.wait_for(job).has_value());
+  }
+
+  ServingStats summed;
+  std::size_t shards_used = 0;
+  for (std::size_t i = 0; i < service.num_shards(); ++i) {
+    const auto shard = service.shard_stats(i);
+    summed.enqueued += shard.enqueued;
+    summed.completed += shard.completed;
+    summed.hits += shard.hits;
+    summed.misses += shard.misses;
+    if (shard.enqueued > 0) ++shards_used;
+  }
+  const auto total = service.stats();
+  EXPECT_EQ(summed.enqueued, total.enqueued);
+  EXPECT_EQ(summed.completed, total.completed);
+  EXPECT_EQ(summed.hits, total.hits);
+  EXPECT_EQ(total.enqueued, jobs.size());
+  EXPECT_EQ(total.hits, jobs.size());
+  EXPECT_EQ(total.misses, 0u);
+  // The canonical trace spans 14 pipelines: the fnv1a router should spread
+  // them over more than one lane.
+  EXPECT_GT(shards_used, 1u);
+}
+
+// Acceptance: sharding must not change a single hint. Per-job hints are
+// independent of batch composition, so the 4-shard deterministic service
+// must be bit-identical to the offline batched pass (and hence to the
+// single-shard service the AsyncServingEquivalence suite pins).
+TEST(ShardedService, DeterministicHintsAreBitIdenticalAcrossShardCounts) {
+  auto& f = fixture();
+  const auto& jobs = f.split.test.jobs();
+  const auto expected = core::precompute_categories(
+      *f.registry, jobs, f.model->num_categories());
+
+  for (const std::size_t shards : {2u, 4u}) {
+    auto config = f.deterministic_config();
+    config.num_shards = shards;
+    config.queue_stripes = 4;
+    PlacementService service(f.registry, config);
+    ASSERT_EQ(service.enqueue_all(jobs), jobs.size());
+    for (const auto& job : jobs) {
+      const auto served = service.wait_for(job);
+      ASSERT_TRUE(served.has_value());
+      EXPECT_EQ(*served, expected.at(job.job_id))
+          << "hint diverged at num_shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedService, ThreadedShardsServeEveryHintBeforeDeadline) {
+  auto& f = fixture();
+  PlacementServiceConfig config;
+  config.num_shards = 4;
+  config.queue_stripes = 4;
+  config.num_threads = 1;  // 4 workers total, one per shard
+  config.queue_capacity = 1024;
+  config.max_batch = 32;
+  config.flush_deadline = milliseconds(1);
+  config.request_deadline = milliseconds(5000);  // generous: no misses
+  config.fallback_num_categories = f.model->num_categories();
+  PlacementService service(f.registry, config);
+
+  const auto count = static_cast<std::ptrdiff_t>(
+      std::min<std::size_t>(256, f.split.test.size()));
+  std::vector<trace::Job> jobs(f.split.test.jobs().begin(),
+                               f.split.test.jobs().begin() + count);
+  ASSERT_EQ(service.enqueue_all(jobs), jobs.size());
+  for (const auto& job : jobs) {
+    const auto served = service.wait_for(job);  // routed hot path
+    ASSERT_TRUE(served.has_value());
+    EXPECT_EQ(*served, f.model->predict_category(job));
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.hits, jobs.size());
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+// ISSUE-6 bugfix pin: shutdown() must shut down ALL shard queues before
+// joining any workers. The old order (stop+join shard by shard) drained
+// shard 0 but left later shards' accepted requests unexecuted when their
+// workers raced the flag. Every accepted request on every shard must have a
+// published hint once shutdown returns.
+TEST(ShardedService, ShutdownDrainsAllShards) {
+  auto& f = fixture();
+  PlacementServiceConfig config;
+  config.num_shards = 4;
+  config.queue_stripes = 2;
+  config.num_threads = 1;
+  config.queue_capacity = 1024;
+  config.max_batch = 16;
+  config.flush_deadline = milliseconds(1);
+  config.fallback_num_categories = f.model->num_categories();
+  PlacementService service(f.registry, config);
+
+  const auto count = static_cast<std::ptrdiff_t>(
+      std::min<std::size_t>(256, f.split.test.size()));
+  std::vector<trace::Job> jobs(f.split.test.jobs().begin(),
+                               f.split.test.jobs().begin() + count);
+  const std::size_t accepted = service.enqueue_all(jobs);
+  service.shutdown();
+  EXPECT_EQ(service.pending_requests(), 0u);
+  EXPECT_EQ(service.stats().completed, accepted);
+  for (const auto& job : jobs) {
+    EXPECT_TRUE(service.lookup(job.job_id).has_value())
+        << "shard " << service.shard_of(job.job_key)
+        << " lost a request on shutdown";
+  }
+}
+
+// ISSUE-6 bugfix pin: stats() aggregates per-shard atomics with relaxed
+// reads while producers and workers are mutating them. The tsan CI job runs
+// this test; a torn/ non-atomic counter would trip it.
+TEST(ShardedService, StatsAggregationIsSafeDuringLoad) {
+  auto& f = fixture();
+  PlacementServiceConfig config;
+  config.num_shards = 2;
+  config.queue_stripes = 2;
+  config.num_threads = 1;
+  config.queue_capacity = 1024;
+  config.max_batch = 16;
+  config.flush_deadline = milliseconds(1);
+  config.request_deadline = milliseconds(5000);
+  config.fallback_num_categories = f.model->num_categories();
+  PlacementService service(f.registry, config);
+
+  const auto count = static_cast<std::ptrdiff_t>(
+      std::min<std::size_t>(128, f.split.test.size()));
+  const std::vector<trace::Job> jobs(f.split.test.jobs().begin(),
+                                     f.split.test.jobs().begin() + count);
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    // Hammer the aggregate while the service is under load; monotone
+    // counters must never run backwards from one read to the next.
+    std::uint64_t last_enqueued = 0;
+    while (!done.load()) {
+      const auto stats = service.stats();
+      EXPECT_GE(stats.enqueued, last_enqueued);
+      EXPECT_LE(stats.completed, stats.enqueued);
+      last_enqueued = stats.enqueued;
+    }
+  });
+  service.enqueue_all(jobs);
+  for (const auto& job : jobs) {
+    service.wait_for(job);
+  }
+  done.store(true);
+  reader.join();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.enqueued, jobs.size());
+  EXPECT_EQ(stats.hits + stats.misses, jobs.size());
+}
+
+TEST(ShardedService, AutoShardCountResolvesToHardware) {
+  auto& f = fixture();
+  auto config = f.deterministic_config();
+  config.num_shards = 0;  // auto: one shard per hardware core
+  PlacementService service(f.registry, config);
+  const std::size_t expected = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  EXPECT_EQ(service.num_shards(), expected);
+}
+
+TEST(ShardedService, VirtualTimeRequiresSingleShard) {
+  auto& f = fixture();
+  auto config = f.deterministic_config();
+  config.num_shards = 2;
+  config.clock = std::make_shared<sim::SimClock>();
+  config.latency_model = make_zero_latency_model();
+  EXPECT_THROW(PlacementService(f.registry, config), std::invalid_argument);
 }
 
 // ------------------------------------------------------ provider equivalence

@@ -3,34 +3,78 @@
 
 Usage:
     bench_summary.py RAW_JSON [-o OUTPUT_JSON] [--note KEY=VALUE]...
+                     [--compare BASELINE_JSON]
+                     [--ratio-threshold R] [--timing-threshold T]
 
 Reads the file produced by
     bench_microbench --benchmark_out=raw.json --benchmark_out_format=json
 and writes a stable, diff-friendly summary: per-benchmark timings plus the
 derived hot-path ratios the ROADMAP tracks (event-engine overhead vs the
 synchronous simulator, typed vs pooled-callback event scheduling, in-place
-vs allocating feature extraction). The summary is committed as
-BENCH_microbench.json so the perf trajectory is visible PR-over-PR; the CI
-release-bench job regenerates it and uploads both files as artifacts for
-comparison against the committed numbers.
+vs allocating feature extraction, sharded serving throughput scaling). The
+summary is committed as BENCH_microbench.json so the perf trajectory is
+visible PR-over-PR.
+
+--compare turns the script into the CI regression gate: the fresh summary's
+derived ratios are diffed against the committed baseline and a ratio that
+moved beyond --ratio-threshold in its bad direction HARD-FAILS the run
+(exit 1). Ratios compare like with like on one host, so they are stable
+across hardware; raw ns timings are not — those only emit GitHub
+`::warning::` annotations when they drift beyond --timing-threshold.
 """
 
 import argparse
 import json
 import sys
 
-# (numerator, denominator, key) pairs reported under "derived" when both
-# sides are present in the run.
+# Derived hot-path ratios: numerator / denominator of the named benchmark
+# metric. `better` gives the ratio's good direction for the regression gate:
+#   "lower"  — the ratio is an overhead factor (our path is the numerator);
+#   "higher" — the ratio is a speedup factor (our path is the denominator
+#              or the numerator measures throughput).
 RATIOS = [
-    ("BM_SimulatorReplay", "BM_SimulatorReplaySynchronous",
-     "event_engine_overhead_x"),
-    ("BM_EventScheduleCallback", "BM_EventScheduleTyped",
-     "callback_vs_typed_schedule_x"),
-    ("BM_FeatureExtract", "BM_FeatureExtractInto",
-     "extract_vs_extract_into_x"),
-    ("BM_InferencePerJob", "BM_InferenceBatch", "per_job_vs_batch_x"),
+    {
+        "key": "event_engine_overhead_x",
+        "numerator": "BM_SimulatorReplay",
+        "denominator": "BM_SimulatorReplaySynchronous",
+        "metric": "real_time",
+        "better": "lower",
+    },
+    {
+        "key": "callback_vs_typed_schedule_x",
+        "numerator": "BM_EventScheduleCallback",
+        "denominator": "BM_EventScheduleTyped",
+        "metric": "real_time",
+        "better": "higher",
+    },
+    {
+        "key": "extract_vs_extract_into_x",
+        "numerator": "BM_FeatureExtract",
+        "denominator": "BM_FeatureExtractInto",
+        "metric": "real_time",
+        "better": "higher",
+    },
+    {
+        "key": "per_job_vs_batch_x",
+        "numerator": "BM_InferencePerJob",
+        "denominator": "BM_InferenceBatch",
+        "metric": "real_time",
+        "better": "higher",
+    },
+    {
+        # Shard scaling of the serving path: requests/sec at 4 shards over
+        # 1 shard. ~1.0 on a single-core host (lanes time-slice); the >= 2x
+        # acceptance bar applies on the multi-core CI runner.
+        "key": "serving_throughput_4v1_x",
+        "numerator": "BM_ServingThroughput/4/real_time",
+        "denominator": "BM_ServingThroughput/1/real_time",
+        "metric": "items_per_second",
+        "better": "higher",
+    },
 ]
 
+# Per-benchmark user counters worth keeping in the committed summary.
+COUNTERS = ["deadline_compliance", "requests_per_second"]
 
 _NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -38,6 +82,13 @@ _NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 def time_ns(run, field):
     """`field` of `run` normalized to nanoseconds via the run's time_unit."""
     return float(run[field]) * _NS_PER_UNIT[run.get("time_unit", "ns")]
+
+
+def metric_value(run, metric):
+    """A ratio ingredient: normalized time or a rate-style counter."""
+    if metric == "real_time":
+        return time_ns(run, "real_time")
+    return float(run.get(metric, 0.0))
 
 
 def load_runs(report):
@@ -64,15 +115,18 @@ def summarize(report, notes):
         }
         if "items_per_second" in run:
             entry["items_per_second"] = round(float(run["items_per_second"]))
+        for counter in COUNTERS:
+            if counter in run:
+                entry[counter] = round(float(run[counter]), 4)
         benchmarks[name] = entry
 
     derived = {}
-    for numerator, denominator, key in RATIOS:
-        if numerator in runs and denominator in runs:
-            num = time_ns(runs[numerator], "real_time")
-            den = time_ns(runs[denominator], "real_time")
+    for ratio in RATIOS:
+        if ratio["numerator"] in runs and ratio["denominator"] in runs:
+            num = metric_value(runs[ratio["numerator"]], ratio["metric"])
+            den = metric_value(runs[ratio["denominator"]], ratio["metric"])
             if den > 0.0:
-                derived[key] = round(num / den, 3)
+                derived[ratio["key"]] = round(num / den, 3)
 
     summary = {
         "source": "bench_microbench (google-benchmark JSON)",
@@ -84,6 +138,59 @@ def summarize(report, notes):
     return summary
 
 
+def compare(fresh, baseline, ratio_threshold, timing_threshold):
+    """Diff `fresh` against the committed `baseline` summary.
+
+    Returns (failures, warnings): lists of human-readable messages. Only
+    derived-ratio regressions are failures; raw timing drift is warn-only
+    because absolute ns are not comparable across hosts.
+    """
+    failures = []
+    warnings = []
+
+    directions = {ratio["key"]: ratio["better"] for ratio in RATIOS}
+    base_derived = baseline.get("derived", {})
+    for key, base in sorted(base_derived.items()):
+        if key not in fresh.get("derived", {}):
+            failures.append(
+                f"derived ratio {key} missing from fresh run "
+                f"(baseline {base}); was its benchmark removed?")
+            continue
+        value = fresh["derived"][key]
+        if base <= 0.0:
+            continue
+        better = directions.get(key, "lower")
+        if better == "higher":
+            # Speedup/throughput ratio: a drop is a regression.
+            change = (base - value) / base
+        else:
+            # Overhead ratio: a rise is a regression.
+            change = (value - base) / base
+        if change > ratio_threshold:
+            failures.append(
+                f"derived ratio {key} regressed: {base} -> {value} "
+                f"({change:+.0%} in the bad direction, threshold "
+                f"{ratio_threshold:.0%}, better={better})")
+
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name, base_entry in sorted(base_benchmarks.items()):
+        fresh_entry = fresh.get("benchmarks", {}).get(name)
+        if fresh_entry is None:
+            warnings.append(f"benchmark {name} missing from fresh run")
+            continue
+        base_ns = base_entry.get("real_time_ns", 0.0)
+        fresh_ns = fresh_entry.get("real_time_ns", 0.0)
+        if base_ns <= 0.0:
+            continue
+        drift = (fresh_ns - base_ns) / base_ns
+        if drift > timing_threshold:
+            warnings.append(
+                f"benchmark {name} slower than baseline: "
+                f"{base_ns:.0f}ns -> {fresh_ns:.0f}ns ({drift:+.0%}; "
+                f"warn-only, raw timings vary across hosts)")
+    return failures, warnings
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("raw", help="google-benchmark JSON report")
@@ -91,6 +198,19 @@ def main(argv):
     parser.add_argument(
         "--note", action="append", default=[], metavar="KEY=VALUE",
         help="annotation embedded under 'notes' (repeatable)")
+    parser.add_argument(
+        "--compare", metavar="BASELINE_JSON",
+        help="committed summary to gate against; derived-ratio regressions "
+             "beyond --ratio-threshold exit 1")
+    parser.add_argument(
+        "--ratio-threshold", type=float, default=0.5,
+        help="hard-fail when a tracked ratio moves this fraction in its bad "
+             "direction (default 0.5: generous, sized to cross-host "
+             "variance of the committed numbers)")
+    parser.add_argument(
+        "--timing-threshold", type=float, default=0.25,
+        help="warn when a raw timing is this fraction slower (default 0.25; "
+             "never fails the run)")
     args = parser.parse_args(argv)
 
     with open(args.raw, "r", encoding="utf-8") as f:
@@ -109,6 +229,24 @@ def main(argv):
         f.write("\n")
     print(f"wrote {args.output}: {len(summary['benchmarks'])} benchmarks, "
           f"{len(summary['derived'])} derived ratios")
+
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+        failures, warnings = compare(summary, baseline,
+                                     args.ratio_threshold,
+                                     args.timing_threshold)
+        for message in warnings:
+            print(f"::warning::{message}")
+        for message in failures:
+            print(f"::error::{message}")
+        if failures:
+            print(f"{len(failures)} tracked ratio(s) regressed beyond "
+                  f"{args.ratio_threshold:.0%} vs {args.compare}")
+            return 1
+        tracked = len(baseline.get("derived", {}))
+        print(f"compare OK vs {args.compare}: {tracked} ratios within "
+              f"threshold, {len(warnings)} timing warning(s)")
     return 0
 
 
