@@ -1,0 +1,113 @@
+// Capability-annotated mutex primitives — thin wrappers over std::mutex and
+// std::condition_variable carrying the Clang thread-safety attributes
+// (common/thread_annotations.h), so `clang++ -Wthread-safety -Werror` can
+// check the locking contracts of the concurrency layer at compile time.
+//
+// Zero-overhead by construction: Mutex is exactly a std::mutex, MutexLock is
+// exactly a lock_guard, and CondVar waits adopt/release the underlying
+// native mutex, so the generated code is identical to the unwrapped
+// primitives on every compiler.
+//
+// Condition-variable waits and the analysis: a wait atomically releases and
+// reacquires the mutex, but from the caller's point of view the capability
+// is held continuously across the call — the annotations model exactly that
+// (wait() BYOM_REQUIRES the lock's mutex), matching how abseil annotates
+// Mutex::Await. Predicate loops are written explicitly at call sites
+// (`while (!pred) cv.wait(lock);`) instead of the lambda-predicate
+// overloads: the analysis treats lambda bodies as separate functions, so a
+// predicate lambda reading guarded state would need its own annotations.
+#pragma once
+
+#include <chrono>
+// lint:allow(raw-mutex) capability-wrapper implementation
+#include <condition_variable>
+#include <mutex>  // lint:allow(raw-mutex) capability-wrapper implementation
+
+#include "common/thread_annotations.h"
+
+namespace byom::common {
+
+class CondVar;
+
+// A std::mutex that the thread-safety analysis understands.
+class BYOM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BYOM_ACQUIRE() { mu_.lock(); }
+  void unlock() BYOM_RELEASE() { mu_.unlock(); }
+  bool try_lock() BYOM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // lint:allow(raw-mutex) capability-wrapper implementation
+};
+
+// RAII scope holding a Mutex — the annotated lock_guard. The analysis
+// treats the guarded capability as held from construction to destruction.
+class BYOM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BYOM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() BYOM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+// Condition variable over Mutex/MutexLock. Waits take the held MutexLock;
+// the underlying native handle is adopted for the duration of the wait and
+// released back, so ownership (and the analysis's view of it) is preserved.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Blocks until notified (or spuriously woken). The caller must hold
+  // `lock` and must re-check its predicate in a loop, as with any condition
+  // variable.
+  void wait(MutexLock& lock) {
+    // lint:allow(raw-mutex) adopting the native handle for the wait
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the MutexLock
+  }
+
+  // Blocks until notified or `deadline` passes; std::cv_status::timeout
+  // when the deadline passed (re-check the predicate either way).
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    // lint:allow(raw-mutex) adopting the native handle for the wait
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    // lint:allow(raw-mutex) adopting the native handle for the wait
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  // lint:allow(raw-mutex) capability-wrapper implementation
+  std::condition_variable cv_;
+};
+
+}  // namespace byom::common

@@ -1,9 +1,9 @@
 #include "core/model_registry.h"
 
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 
 namespace byom::core {
@@ -33,7 +33,7 @@ void ShardedModelRegistry::register_model(const std::string& pipeline_name,
     // Copy-on-write under the writer-only mutex: readers keep resolving
     // against the old snapshot until the atomic_store below publishes the
     // new one; the old map is reclaimed when its last reader drops it.
-    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    common::MutexLock lock(shard.write_mutex);
     const ModelMapPtr current = std::atomic_load(&shard.snapshot);
     auto next = current ? std::make_shared<ModelMap>(*current)
                         : std::make_shared<ModelMap>();
@@ -65,6 +65,8 @@ void ShardedModelRegistry::set_default_model(
   set_default_model(make_gbdt_backend(std::move(model)));
 }
 
+// hotpath: the million-RPS read path — lock-free snapshot load plus one
+// hash probe; shared_ptr refcount traffic only, no allocation.
 ModelBackendPtr ShardedModelRegistry::lookup(const trace::Job& job) const {
   const Shard& shard = shard_for(job.pipeline_name);
   if (const ModelMapPtr snapshot = std::atomic_load_explicit(

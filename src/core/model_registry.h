@@ -34,11 +34,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/model_backend.h"
 #include "trace/job.h"
 
@@ -88,11 +89,17 @@ class ShardedModelRegistry {
   using ModelMapPtr = std::shared_ptr<const ModelMap>;
 
   struct Shard {
-    // Serializes writers only; readers never touch it.
-    std::mutex write_mutex;
-    // Immutable epoch-published snapshot; accessed with
-    // std::atomic_load/atomic_store. Null until the first registration.
-    ModelMapPtr snapshot;
+    // Serializes writers only; readers never touch it. Not a GUARDED_BY
+    // relationship: the snapshot below is *written* under this mutex but
+    // *read* lock-free, a discipline Clang's analysis has no annotation
+    // for — BYOM_RCU_PUBLISHED documents it instead.
+    // lint:allow(guarded-mutex) writer-side of an RCU slot, readers are
+    // lock-free by design
+    common::Mutex write_mutex;
+    // Immutable epoch-published snapshot; accessed ONLY with
+    // std::atomic_load (readers, no lock) / std::atomic_store (writers,
+    // under write_mutex). Null until the first registration.
+    ModelMapPtr snapshot BYOM_RCU_PUBLISHED;
   };
 
   Shard& shard_for(const std::string& pipeline_name) const;
@@ -100,7 +107,8 @@ class ShardedModelRegistry {
   // unique_ptr per shard: Shard holds a mutex and must not move when the
   // vector is built.
   std::vector<std::unique_ptr<Shard>> shards_;
-  ModelBackendPtr default_model_;  // accessed via std::atomic_load/store
+  // Accessed ONLY via std::atomic_load/atomic_store (lock-free swap slot).
+  ModelBackendPtr default_model_ BYOM_RCU_PUBLISHED;
   std::atomic<std::uint64_t> swaps_{0};
   std::atomic<std::uint64_t> epoch_{0};
 };

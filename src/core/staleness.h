@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/category_provider.h"
 #include "sim/sim_clock.h"
 
@@ -50,7 +51,10 @@ struct StalenessConfig {
   int num_categories = 15;
 };
 
-class StalenessSchedule {
+// Single-threaded by contract: the schedule advances on the virtual
+// timeline of the clock that drives it, and that clock (see sim_clock.h)
+// is owned by exactly one thread — callers provide the synchronization.
+class BYOM_EXTERNALLY_SYNCHRONIZED StalenessSchedule {
  public:
   explicit StalenessSchedule(const StalenessConfig& config);
 

@@ -62,6 +62,8 @@ std::vector<float> FeatureExtractor::extract(const trace::Job& job) const {
   return out;
 }
 
+// hotpath: one call per job in the replay loop; fills the caller's span in
+// place and must not allocate (the zero-allocation pipeline contract).
 void FeatureExtractor::extract_into(const trace::Job& job,
                                     common::Span<float> out) const {
   if (out.size() != num_features()) {

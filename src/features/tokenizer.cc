@@ -20,6 +20,8 @@ std::vector<std::string> tokenize_metadata(std::string_view text) {
   return tokens;
 }
 
+// hotpath: streaming tokenizer runs once per string field per job; hashes
+// in place, no token materialization, no allocation.
 void accumulate_token_hash_buckets(std::string_view text,
                                    common::Span<float> out) {
   if (out.empty()) return;

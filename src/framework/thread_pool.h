@@ -14,16 +14,17 @@
 // outermost grid loop.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace byom::framework {
 
@@ -68,10 +69,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  common::Mutex mutex_;
+  common::CondVar cv_;
+  std::queue<std::function<void()>> queue_ BYOM_GUARDED_BY(mutex_);
+  bool stopping_ BYOM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace byom::framework

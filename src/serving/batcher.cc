@@ -34,9 +34,12 @@ bool Batcher::run_once() {
   // Top up until the batch is full or the flush deadline fires. The
   // deadline is anchored at the first pop, so a trickle of requests cannot
   // postpone the flush indefinitely.
+  // lint:allow(wall-clock) threaded-worker flush deadline; virtual-time
+  // mode never calls run_once (it drains at lookup or by clock event)
   const auto deadline =
       std::chrono::steady_clock::now() + config_.flush_deadline;
   while (batch.size() < config_.max_batch) {
+    // lint:allow(wall-clock) threaded-worker flush deadline, see above
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) break;
     const auto left =

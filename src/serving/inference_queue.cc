@@ -47,14 +47,14 @@ void InferenceRequestQueue::notify_not_empty() {
   // The empty critical section pairs with the consumer's predicate check
   // under gate_mutex_: once we hold the gate, any consumer that saw the
   // queue empty is already inside wait() and will receive the notify.
-  { std::lock_guard<std::mutex> gate(gate_mutex_); }
+  { common::MutexLock gate(gate_mutex_); }
   not_empty_.notify_one();
 }
 
 bool InferenceRequestQueue::try_push(InferenceRequest request) {
   Stripe& stripe = *stripes_[stripe_of(request.job.job_id)];
   {
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    common::MutexLock lock(stripe.mutex);
     if (shutdown_.load(std::memory_order_acquire) ||
         stripe.items.size() >= stripe_capacity_) {
       return false;
@@ -71,11 +71,11 @@ bool InferenceRequestQueue::try_push(InferenceRequest request) {
 bool InferenceRequestQueue::push(InferenceRequest request) {
   Stripe& stripe = *stripes_[stripe_of(request.job.job_id)];
   {
-    std::unique_lock<std::mutex> lock(stripe.mutex);
-    stripe.not_full.wait(lock, [&] {
-      return shutdown_.load(std::memory_order_acquire) ||
-             stripe.items.size() < stripe_capacity_;
-    });
+    common::MutexLock lock(stripe.mutex);
+    while (!shutdown_.load(std::memory_order_acquire) &&
+           stripe.items.size() >= stripe_capacity_) {
+      stripe.not_full.wait(lock);
+    }
     if (shutdown_.load(std::memory_order_acquire)) return false;
     stripe.items.push_back(std::move(request));
     size_.fetch_add(1, std::memory_order_release);
@@ -94,7 +94,7 @@ std::size_t InferenceRequestQueue::sweep(std::vector<InferenceRequest>& out,
     Stripe& stripe = *stripes_[(start + k) % n];
     std::size_t from_stripe = 0;
     {
-      std::lock_guard<std::mutex> lock(stripe.mutex);
+      common::MutexLock lock(stripe.mutex);
       while (popped < max_batch && !stripe.items.empty()) {
         out.push_back(std::move(stripe.items.front()));
         stripe.items.pop_front();
@@ -115,26 +115,40 @@ std::optional<InferenceRequest> InferenceRequestQueue::pop(
   return std::move(out.front());
 }
 
+// The idle consumer's wake predicate: something to pop, or nothing ever
+// will be. Reads only atomics, so no capability is required.
+bool InferenceRequestQueue::wake_ready() const {
+  return shutdown_.load(std::memory_order_acquire) ||
+         size_.load(std::memory_order_acquire) > 0;
+}
+
 std::size_t InferenceRequestQueue::pop_batch(
     std::vector<InferenceRequest>& out, std::size_t max_batch,
     std::chrono::milliseconds wait) {
   if (max_batch == 0) return 0;
+  // lint:allow(wall-clock) threaded-consumer timeout; virtual-time mode only
+  // ever calls with wait == 0 (drain), which returns before the wait path
   const auto deadline = std::chrono::steady_clock::now() + wait;
   for (;;) {
     const std::size_t popped = sweep(out, max_batch);
     if (popped > 0) return popped;
-    std::unique_lock<std::mutex> gate(gate_mutex_);
-    if (shutdown_.load(std::memory_order_acquire) &&
-        size_.load(std::memory_order_acquire) == 0) {
-      return 0;
+    bool timed_out = false;
+    {
+      common::MutexLock gate(gate_mutex_);
+      if (shutdown_.load(std::memory_order_acquire) &&
+          size_.load(std::memory_order_acquire) == 0) {
+        return 0;
+      }
+      while (!wake_ready()) {
+        if (not_empty_.wait_until(gate, deadline) == std::cv_status::timeout) {
+          timed_out = !wake_ready();
+          break;
+        }
+      }
     }
-    if (!not_empty_.wait_until(gate, deadline, [this] {
-          return shutdown_.load(std::memory_order_acquire) ||
-                 size_.load(std::memory_order_acquire) > 0;
-        })) {
+    if (timed_out) {
       // Timed out: one last non-blocking attempt in case a push raced the
       // timeout.
-      gate.unlock();
       return sweep(out, max_batch);
     }
     // Woken (or the predicate already held): loop and sweep again — another
@@ -148,15 +162,12 @@ std::size_t InferenceRequestQueue::pop_batch(
   for (;;) {
     const std::size_t popped = sweep(out, max_batch);
     if (popped > 0) return popped;
-    std::unique_lock<std::mutex> gate(gate_mutex_);
+    common::MutexLock gate(gate_mutex_);
     if (shutdown_.load(std::memory_order_acquire) &&
         size_.load(std::memory_order_acquire) == 0) {
       return 0;
     }
-    not_empty_.wait(gate, [this] {
-      return shutdown_.load(std::memory_order_acquire) ||
-             size_.load(std::memory_order_acquire) > 0;
-    });
+    while (!wake_ready()) not_empty_.wait(gate);
   }
 }
 
@@ -166,10 +177,10 @@ void InferenceRequestQueue::shutdown() {
     // Empty critical section: a producer between its shutdown check and
     // wait() holds the stripe mutex, so once we acquire it the producer is
     // inside wait() and the notify below reaches it.
-    { std::lock_guard<std::mutex> lock(stripe->mutex); }
+    { common::MutexLock lock(stripe->mutex); }
     stripe->not_full.notify_all();
   }
-  { std::lock_guard<std::mutex> gate(gate_mutex_); }
+  { common::MutexLock gate(gate_mutex_); }
   not_empty_.notify_all();
 }
 

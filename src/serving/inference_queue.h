@@ -29,15 +29,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "trace/job.h"
 
 namespace byom::serving {
@@ -46,6 +46,8 @@ struct InferenceRequest {
   // The job is copied into the request: a request may outlive the
   // submission context that created it.
   trace::Job job;
+  // lint:allow(wall-clock) threaded-mode latency accounting; never read in
+  // virtual-time mode
   std::chrono::steady_clock::time_point enqueued_at{};
   // Virtual submission time (sim::SimClock seconds); only meaningful when
   // the owning PlacementService runs in virtual-time mode.
@@ -96,10 +98,10 @@ class InferenceRequestQueue {
 
  private:
   struct Stripe {
-    mutable std::mutex mutex;
+    mutable common::Mutex mutex;
     // Per-stripe so a blocking producer waits on its own stripe's slot.
-    std::condition_variable not_full;
-    std::deque<InferenceRequest> items;
+    common::CondVar not_full;
+    std::deque<InferenceRequest> items BYOM_GUARDED_BY(mutex);
   };
 
   // Pops up to `max_batch` requests into `out`, sweeping every stripe once
@@ -107,20 +109,26 @@ class InferenceRequestQueue {
   std::size_t sweep(std::vector<InferenceRequest>& out, std::size_t max_batch);
   // Gate-synchronized wakeup of one idle consumer (see header comment).
   void notify_not_empty();
+  // The idle consumer's wake predicate (atomics only, no lock required).
+  bool wake_ready() const;
 
   const std::size_t stripe_capacity_;
   // unique_ptr per stripe: Stripe holds a mutex and must not move when the
   // vector is built.
   std::vector<std::unique_ptr<Stripe>> stripes_;
+  // Mutated only alongside its stripe's items (under that stripe's lock);
+  // read lock-free by idle consumers' wake predicates.
   std::atomic<std::size_t> size_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<std::size_t> cursor_{0};
 
   // Consumers' idle block only: producers take it for an empty critical
   // section before notifying so a consumer between its predicate check and
-  // wait() cannot miss the wakeup.
-  mutable std::mutex gate_mutex_;
-  std::condition_variable not_empty_;
+  // wait() cannot miss the wakeup. Guards the wait protocol, not data —
+  // every field a waiter reads is atomic.
+  // lint:allow(guarded-mutex) protocol-only gate, no guarded members
+  mutable common::Mutex gate_mutex_;
+  common::CondVar not_empty_;
 };
 
 }  // namespace byom::serving

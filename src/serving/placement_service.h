@@ -60,16 +60,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/byom.h"
 #include "core/category_provider.h"
 #include "features/feature_matrix.h"
@@ -259,14 +259,14 @@ class PlacementService {
     InferenceRequestQueue queue;
     Batcher batcher;
 
-    mutable std::mutex results_mutex;
-    std::condition_variable results_cv;
-    core::CategoryHints results;
-    std::uint64_t completed = 0;
-    double wall_latency_total_ms = 0.0;
-    double wall_latency_max_ms = 0.0;
-    double virtual_latency_total_s = 0.0;
-    double virtual_latency_max_s = 0.0;
+    mutable common::Mutex results_mutex;
+    common::CondVar results_cv;
+    core::CategoryHints results BYOM_GUARDED_BY(results_mutex);
+    std::uint64_t completed BYOM_GUARDED_BY(results_mutex) = 0;
+    double wall_latency_total_ms BYOM_GUARDED_BY(results_mutex) = 0.0;
+    double wall_latency_max_ms BYOM_GUARDED_BY(results_mutex) = 0.0;
+    double virtual_latency_total_s BYOM_GUARDED_BY(results_mutex) = 0.0;
+    double virtual_latency_max_s BYOM_GUARDED_BY(results_mutex) = 0.0;
 
     std::atomic<std::uint64_t> enqueued{0};
     std::atomic<std::uint64_t> dropped{0};
@@ -277,9 +277,13 @@ class PlacementService {
 
     // Virtual-time mode state (single shard; guarded by results_mutex for
     // consistency with the results table).
-    std::unordered_map<std::uint64_t, InFlightHint> in_flight;
-    bool flush_event_pending = false;
+    std::unordered_map<std::uint64_t, InFlightHint> in_flight
+        BYOM_GUARDED_BY(results_mutex);
+    bool flush_event_pending BYOM_GUARDED_BY(results_mutex) = false;
 
+    // Written by the constructor before any worker runs and joined by
+    // shutdown() under shutdown_mutex_; never touched by the workers
+    // themselves.
     std::vector<std::thread> workers;
   };
 
@@ -304,7 +308,10 @@ class PlacementService {
   std::shared_ptr<const core::ModelRegistry> registry_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::mutex shutdown_mutex_;  // serializes concurrent shutdown() calls
+  // Serializes concurrent shutdown() calls (guards the join protocol, not
+  // data: worker joins must not race each other).
+  // lint:allow(guarded-mutex) protocol-only, no guarded members
+  common::Mutex shutdown_mutex_;
 };
 
 // Async CategoryProvider over a service: category() = wait_for(job), routed

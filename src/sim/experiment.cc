@@ -54,7 +54,7 @@ const core::CategoryModel& MethodFactory::category_model() const {
 
 std::shared_ptr<const core::CategoryModel>
 MethodFactory::shared_category_model() const {
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  common::MutexLock lock(model_mutex_);
   if (!model_) {
     model_ = std::make_shared<const core::CategoryModel>(
         core::CategoryModel::train(train_.jobs(), model_config_));
@@ -63,7 +63,7 @@ MethodFactory::shared_category_model() const {
 }
 
 void MethodFactory::set_category_model(core::CategoryModel model) {
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  common::MutexLock lock(model_mutex_);
   model_ = std::make_shared<const core::CategoryModel>(std::move(model));
   // GBDT backend wrappers may wrap model_ — the cluster default always
   // does, and small-history pipelines fall back to it (gbdt_model_for) —
@@ -89,7 +89,7 @@ void MethodFactory::warm(MethodId id) const {
       shared_category_model();
       break;
     case MethodId::kMlBaseline: {
-      std::lock_guard<std::mutex> lock(model_mutex_);
+      common::MutexLock lock(model_mutex_);
       if (!ml_baseline_) {
         ml_baseline_ =
             std::make_shared<const policy::LifetimeMlPolicy>(train_.jobs());
@@ -150,7 +150,7 @@ core::BackendConfig MethodFactory::backend_config() const {
 core::ModelBackendPtr MethodFactory::shared_backend(
     core::BackendKind kind) const {
   const std::string key = std::string(backend_kind_name(kind)) + "\n";
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  common::MutexLock lock(model_mutex_);
   const auto it = backend_cache_.find(key);
   if (it != backend_cache_.end()) return it->second;
   core::ModelBackendPtr backend;
@@ -172,7 +172,7 @@ core::ModelBackendPtr MethodFactory::shared_backend(
 std::shared_ptr<const std::vector<trace::Job>> MethodFactory::pipeline_history(
     const std::string& pipeline) const {
   {
-    std::lock_guard<std::mutex> lock(model_mutex_);
+    common::MutexLock lock(model_mutex_);
     const auto it = history_cache_.find(pipeline);
     if (it != history_cache_.end()) return it->second;
   }
@@ -180,7 +180,7 @@ std::shared_ptr<const std::vector<trace::Job>> MethodFactory::pipeline_history(
   for (const auto& job : train_.jobs()) {
     if (job.pipeline_name == pipeline) history->push_back(job);
   }
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  common::MutexLock lock(model_mutex_);
   return history_cache_.emplace(pipeline, std::move(history)).first->second;
 }
 
@@ -191,7 +191,7 @@ std::shared_ptr<const core::CategoryModel> MethodFactory::gbdt_model_for(
   // Too few runs to fit a labeler worth trusting: deploy the cluster
   // forest for this workload instead.
   if (history->size() < 32) return shared_category_model();
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  common::MutexLock lock(model_mutex_);
   auto& model = gbdt_model_cache_[pipeline];
   if (!model) {
     model = std::make_shared<const core::CategoryModel>(
@@ -206,7 +206,7 @@ core::ModelBackendPtr MethodFactory::pipeline_backend(
   const std::string key =
       std::string(backend_kind_name(kind)) + "\n" + pipeline;
   {
-    std::lock_guard<std::mutex> lock(model_mutex_);
+    common::MutexLock lock(model_mutex_);
     const auto it = backend_cache_.find(key);
     if (it != backend_cache_.end()) return it->second;
   }
@@ -221,7 +221,7 @@ core::ModelBackendPtr MethodFactory::pipeline_backend(
                   ? shared_backend(kind)
                   : core::train_backend(kind, *history, backend_config());
   }
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  common::MutexLock lock(model_mutex_);
   // First insert wins if two cells raced on the same training; artifacts
   // are deterministic in (kind, history), so either instance is correct.
   return backend_cache_.emplace(key, std::move(backend)).first->second;
@@ -237,7 +237,7 @@ features::FeatureMatrixPtr MethodFactory::feature_matrix(
     identity.last_job_id = test.jobs().back().job_id;
   }
   {
-    std::lock_guard<std::mutex> lock(model_mutex_);
+    common::MutexLock lock(model_mutex_);
     for (const auto& [key, matrix] : matrix_cache_) {
       if (key == identity) return matrix;
     }
@@ -247,7 +247,7 @@ features::FeatureMatrixPtr MethodFactory::feature_matrix(
   // either instance is correct.
   auto matrix = features::make_feature_matrix(features::FeatureExtractor{},
                                               test.jobs());
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  common::MutexLock lock(model_mutex_);
   for (const auto& [key, cached] : matrix_cache_) {
     if (key == identity) return cached;
   }

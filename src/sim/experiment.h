@@ -24,12 +24,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/byom.h"
 #include "core/category_model.h"
 #include "core/category_provider.h"
@@ -273,20 +274,20 @@ class MethodFactory {
   double default_staleness_half_life_ = 6.0 * 3600.0;
   std::shared_ptr<const policy::CategoryHints> predicted_hints_;
   std::shared_ptr<const policy::CategoryHints> true_hints_;
-  mutable std::mutex model_mutex_;
-  mutable std::shared_ptr<const core::CategoryModel> model_;
+  mutable common::Mutex model_mutex_;
+  mutable std::shared_ptr<const core::CategoryModel> model_
+      BYOM_GUARDED_BY(model_mutex_);
   // Trained backends keyed by backend_kind_name + "\n" + pipeline ("" =
-  // cluster default). Guarded by model_mutex_.
-  mutable std::map<std::string, core::ModelBackendPtr> backend_cache_;
-  // Per-pipeline trained forests (see gbdt_model_for). Guarded by
-  // model_mutex_.
+  // cluster default).
+  mutable std::map<std::string, core::ModelBackendPtr> backend_cache_
+      BYOM_GUARDED_BY(model_mutex_);
+  // Per-pipeline trained forests (see gbdt_model_for).
   mutable std::map<std::string, std::shared_ptr<const core::CategoryModel>>
-      gbdt_model_cache_;
-  // Per-pipeline training-history slices (see pipeline_history). Guarded
-  // by model_mutex_.
+      gbdt_model_cache_ BYOM_GUARDED_BY(model_mutex_);
+  // Per-pipeline training-history slices (see pipeline_history).
   mutable std::map<std::string,
                    std::shared_ptr<const std::vector<trace::Job>>>
-      history_cache_;
+      history_cache_ BYOM_GUARDED_BY(model_mutex_);
   // Cheap fingerprint for "is this the same test trace I already
   // extracted?" — the borrowed pointer alone could be reused by a later
   // allocation, so the size and boundary job ids are checked too.
@@ -302,13 +303,13 @@ class MethodFactory {
     }
   };
   // Extracted-once feature matrices per test trace (see feature_matrix).
-  // A handful of traces per factory, so a flat vector beats a map. Guarded
-  // by model_mutex_.
+  // A handful of traces per factory, so a flat vector beats a map.
   mutable std::vector<std::pair<TraceIdentity, features::FeatureMatrixPtr>>
-      matrix_cache_;
+      matrix_cache_ BYOM_GUARDED_BY(model_mutex_);
   // Trained-once prototype; make() hands out cheap copies (the policy is
   // stateless after construction but each simulation owns its instance).
-  mutable std::shared_ptr<const policy::LifetimeMlPolicy> ml_baseline_;
+  mutable std::shared_ptr<const policy::LifetimeMlPolicy> ml_baseline_
+      BYOM_GUARDED_BY(model_mutex_);
 };
 
 // Convenience: build policy for `id`, simulate `test` under the quota, and

@@ -33,9 +33,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace byom::sim {
 
-class SimClock {
+// Single-threaded by contract: the clock is owned by whichever replay or
+// serving shard drives it, and is never shared across threads — callers
+// provide the synchronization (each PlacementService shard owns its own
+// clock; the reference simulator runs one clock on one thread).
+class BYOM_EXTERNALLY_SYNCHRONIZED SimClock {
  public:
   using EventFn = std::function<void()>;
   // Typed-event trampoline: `ctx` is the scheduling subsystem's own object
@@ -105,6 +111,7 @@ class SimClock {
 
   // Runs every event with time <= `time` (in order), then advances now()
   // to `time`. Returns the number of events executed.
+  // hotpath: one call per replayed job; must not allocate.
   std::size_t run_until(double time) {
     std::size_t executed = 0;
     while (!heap_.empty() && heap_[0].time <= time) {
@@ -176,6 +183,7 @@ class SimClock {
     heap_[index] = event;
   }
 
+  // hotpath: heap pop runs once per event; POD moves only.
   Event pop_front() {
     const Event front = heap_[0];
     heap_[0] = heap_.back();
@@ -206,6 +214,8 @@ class SimClock {
   std::vector<std::uint32_t> fn_free_;
 };
 
+// hotpath: one POD push per scheduled event; steady state must not allocate
+// (heap_ capacity is pre-sized via reserve()).
 inline std::uint64_t SimClock::schedule_typed(double time, int priority,
                                               EventKind kind, Handler handler,
                                               void* ctx, std::uint64_t arg) {

@@ -1,0 +1,20 @@
+// Fixture: a common::Mutex member with no BYOM_GUARDED_BY pairing and no
+// allow tag.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    byom::common::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  common::Mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: allocation inside a `// hotpath:` marked function body.
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+// hotpath: fixture — this body must not allocate, but it does.
+std::size_t bad_sum(std::size_t n) {
+  std::vector<std::size_t> scratch(n, 1);
+  std::function<std::size_t(std::size_t)> id = [](std::size_t v) {
+    return v;
+  };
+  std::size_t total = 0;
+  for (const auto v : scratch) total += id(v);
+  return total;
+}

@@ -1,0 +1,10 @@
+// Fixture: locale-dependent character classification fires repo-wide.
+#include <cctype>
+
+bool bad_is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+char bad_fold(char c) {
+  return static_cast<char>(tolower(static_cast<unsigned char>(c)));
+}

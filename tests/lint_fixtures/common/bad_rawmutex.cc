@@ -1,0 +1,18 @@
+// Fixture: raw std::mutex primitives outside the capability wrapper.
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

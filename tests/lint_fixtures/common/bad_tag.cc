@@ -1,0 +1,11 @@
+// Fixture: malformed allow tags are themselves violations — a tag with no
+// reason, and a tag naming a rule that does not exist.
+#include <cctype>
+
+char bad_bare_tag(char c) {
+  // lint:allow(locale-dependent)
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+// lint:allow(no-such-rule) this rule name is not in the catalog
+int unrelated() { return 0; }

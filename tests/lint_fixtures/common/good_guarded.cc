@@ -1,0 +1,22 @@
+// Fixture: an annotated mutex member passes, and so does a tagged
+// protocol-only mutex that deliberately guards nothing.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    byom::common::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  common::Mutex mutex_;
+  int value_ BYOM_GUARDED_BY(mutex_) = 0;
+  // lint:allow(guarded-mutex) fixture: protocol-only gate, guards no data
+  common::Mutex gate_mutex_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: a clean hotpath body passes; allocating code OUTSIDE the marked
+// body (before and after) is not the hotpath rule's business.
+#include <cstddef>
+#include <vector>
+
+std::vector<std::size_t> make_scratch(std::size_t n) {
+  return std::vector<std::size_t>(n, 1);
+}
+
+// hotpath: fixture — pointer arithmetic only, no allocation.
+std::size_t good_sum(const std::size_t* data, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += data[i];
+  }
+  return total;
+}
+
+std::vector<std::size_t> more_scratch() { return {1, 2, 3}; }

@@ -1,0 +1,13 @@
+// Fixture: a tagged locale call passes, and tokens that appear only in
+// comments or string literals never fire (the linter strips both).
+//
+// Comment mention: tolower(isalnum(...)) is fine here.
+#include <cctype>
+#include <string>
+
+char ok_fold(char c) {
+  // lint:allow(locale-dependent) fixture: documented CLI-only normalization
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+std::string doc() { return "call tolower(c) and isspace(c) by hand"; }

@@ -1,0 +1,14 @@
+// Fixture: tagged raw-mutex uses pass (the wrapper implementation itself
+// relies on this).
+#include <mutex>  // lint:allow(raw-mutex) fixture: wrapper-internal use
+
+namespace fixture {
+
+void with_native(void* native_handle) {
+  // lint:allow(raw-mutex) fixture: adopting a native handle
+  std::mutex* mu = static_cast<std::mutex*>(native_handle);
+  mu->lock();
+  mu->unlock();
+}
+
+}  // namespace fixture

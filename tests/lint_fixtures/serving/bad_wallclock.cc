@@ -1,0 +1,8 @@
+// Fixture: an untagged wall-clock read outside the core still fires.
+#include <chrono>
+
+double bad_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,8 @@
+// Fixture: a tagged ambient-randomness use outside the core passes.
+#include <random>
+
+unsigned ok_entropy() {
+  // lint:allow(ambient-random) fixture: ops-only entropy, never in replay
+  std::random_device device;
+  return device();
+}

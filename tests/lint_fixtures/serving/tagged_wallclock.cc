@@ -1,0 +1,12 @@
+// Fixture: outside the deterministic core a tagged wall-clock read passes,
+// including when the tagged statement spans multiple lines.
+#include <chrono>
+
+double ok_deadline_ms() {
+  // lint:allow(wall-clock) threaded-mode deadline fixture: intentional
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  return std::chrono::duration<double, std::milli>(
+             deadline.time_since_epoch())
+      .count();
+}

@@ -1,0 +1,7 @@
+// Fixture: ambient randomness inside the deterministic core.
+#include <random>
+
+unsigned bad_seed() {
+  std::random_device device;
+  return device();
+}

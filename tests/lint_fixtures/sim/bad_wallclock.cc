@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads inside the deterministic core must fire even
+// when tagged — sim/ is a hard-ban scope.
+#include <chrono>
+#include <thread>
+
+double bad_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void bad_tagged_sleep() {
+  // lint:allow(wall-clock) tags are not honored in sim/ — still a violation
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

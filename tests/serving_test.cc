@@ -812,6 +812,42 @@ TEST(VirtualTime, FlushEventComputesUnconsumedRequests) {
   EXPECT_EQ(service.stats().completed, 1u);
 }
 
+TEST(VirtualTime, FlushEventArmsOncePerWindowAndRearms) {
+  // Regression for the flush_event_pending lock-discipline fix: the flag is
+  // read-modify-written under the shard's results mutex (BYOM_GUARDED_BY
+  // pins it at compile time under clang), and its protocol is exactly "one
+  // armed flush event per window, re-armed after the event fires".
+  auto& f = fixture();
+  auto config = f.deterministic_config();
+  config.clock = std::make_shared<sim::SimClock>();
+  config.latency_model = make_zero_latency_model();
+  config.virtual_flush_deadline = 2.0;
+  config.drain_on_lookup = false;
+  PlacementService service(f.registry, config);
+
+  const auto& jobs = f.split.test.jobs();
+  ASSERT_GE(jobs.size(), 4u);
+  // Several enqueues inside one window share ONE armed event: arming is
+  // deduped by the pending flag, not once per request.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(service.enqueue(jobs[i])) << i;
+  EXPECT_EQ(config.clock->pending(), 1u);
+
+  config.clock->run_all();
+  EXPECT_DOUBLE_EQ(config.clock->now(), 2.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(service.lookup(jobs[i].job_id).has_value()) << i;
+  }
+
+  // The event handler cleared the flag before draining, so the next window
+  // arms a fresh flush instead of being swallowed by a stale pending bit.
+  ASSERT_TRUE(service.enqueue(jobs[3]));
+  EXPECT_EQ(config.clock->pending(), 1u);
+  config.clock->run_all();
+  EXPECT_DOUBLE_EQ(config.clock->now(), 4.0);
+  EXPECT_TRUE(service.lookup(jobs[3].job_id).has_value());
+  EXPECT_EQ(service.stats().completed, 4u);
+}
+
 // -------------------------------------------------- noisy cells determinism
 
 TEST(NoisyCells, ParallelNoisyGridMatchesSerialBitExactly) {
