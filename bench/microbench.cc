@@ -324,6 +324,86 @@ void BM_InferenceBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_InferenceBatch)->Unit(benchmark::kMillisecond);
 
+// Shared pre-extracted matrix for the kernel-level comparison below: both
+// traversals read the same rows, so the ratio isolates forest layout +
+// loop order (node-block AoS vs compiled SoA), not feature extraction.
+const features::FeatureMatrix& inference_matrix() {
+  static const features::FeatureMatrix matrix(
+      fixture().cluster.factory->category_model().extractor(),
+      inference_jobs());
+  return matrix;
+}
+
+// The pre-compilation inference path, kept as the benchmark baseline: stage
+// a row-pointer array, run the node-block traversal (trees outer, rows
+// inner over the 40-byte training nodes), then argmax. Numerator of the
+// compiled_vs_nodeblock_x ratio.
+void BM_InferenceNodeBlock(benchmark::State& state) {
+  const auto& model = fixture().cluster.factory->category_model();
+  const auto& classifier = model.classifier();
+  const auto& jobs = inference_jobs();
+  const auto& matrix = inference_matrix();
+  const auto k = static_cast<std::size_t>(classifier.num_classes());
+  std::vector<double> scores(jobs.size() * k);
+  for (auto _ : state) {
+    std::vector<const float*> rows(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      rows[i] = matrix.find(jobs[i].job_id);
+    }
+    classifier.scores_batch_nodeblock(rows.data(), rows.size(),
+                                      scores.data());
+    int acc = 0;
+    for (std::size_t r = 0; r < jobs.size(); ++r) {
+      const double* row = scores.data() + r * k;
+      int best = 0;
+      for (std::size_t c = 1; c < k; ++c) {
+        if (row[c] > row[static_cast<std::size_t>(best)]) {
+          best = static_cast<int>(c);
+        }
+      }
+      acc += best;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * jobs.size()));
+}
+BENCHMARK(BM_InferenceNodeBlock)->Unit(benchmark::kMillisecond);
+
+// The production batch path end to end: gather_feature_block over the
+// shared matrix + compiled flat-forest kernel. Denominator of
+// compiled_vs_nodeblock_x.
+void BM_InferenceCompiled(benchmark::State& state) {
+  const auto& model = fixture().cluster.factory->category_model();
+  const auto& jobs = inference_jobs();
+  const auto& matrix = inference_matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_categories(jobs, &matrix));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * jobs.size()));
+}
+BENCHMARK(BM_InferenceCompiled)->Unit(benchmark::kMillisecond);
+
+// Single-row latency through the compiled forest: scores_into on one
+// pre-extracted row at a time — the serving-loop shape (Fig 9a's per-job
+// axis) with extraction and allocation both off the clock.
+void BM_InferenceCompiledPerJob(benchmark::State& state) {
+  const auto& classifier =
+      fixture().cluster.factory->category_model().classifier();
+  const auto& matrix = inference_matrix();
+  const auto k = static_cast<std::size_t>(classifier.num_classes());
+  std::vector<double> scores(k);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    classifier.scores_into(matrix.row(i), scores.data());
+    benchmark::DoNotOptimize(scores.data());
+    i = (i + 1) % matrix.num_rows();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InferenceCompiledPerJob);
+
 // ---- serving loop: served-hint round trip vs batcher max_batch ----------
 //
 // Full enqueue -> queue -> batcher -> predict_batch -> publish -> lookup

@@ -8,34 +8,50 @@
 
 namespace byom::core {
 
-std::vector<FeatureRow> gather_feature_rows(
-    const features::FeatureExtractor& extractor,
-    common::Span<const trace::Job* const> jobs,
-    const features::FeatureMatrix* matrix, std::vector<float>& scratch) {
+FeatureBlock gather_feature_block(const features::FeatureExtractor& extractor,
+                                  common::Span<const trace::Job* const> jobs,
+                                  const features::FeatureMatrix* matrix,
+                                  std::vector<float>& scratch) {
   const std::size_t width = extractor.num_features();
+  const std::size_t n = jobs.size();
   if (matrix != nullptr && matrix->num_features() != width) {
     matrix = nullptr;
   }
-  std::vector<FeatureRow> rows(jobs.size());
-  std::size_t missing = 0;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const float* row =
+  if (n == 0) return FeatureBlock{nullptr, width, 0};
+
+  if (matrix != nullptr) {
+    // Alias fast path: a batch that is exactly a run of consecutive matrix
+    // rows (the common shape — a trace scored against the matrix built
+    // from it) reads the matrix storage in place, zero copies.
+    const std::ptrdiff_t first = matrix->row_index(jobs[0]->job_id);
+    if (first >= 0) {
+      std::size_t run = 1;
+      while (run < n &&
+             matrix->row_index(jobs[run]->job_id) ==
+                 first + static_cast<std::ptrdiff_t>(run)) {
+        ++run;
+      }
+      if (run == n) {
+        return FeatureBlock{matrix->row(static_cast<std::size_t>(first)),
+                            matrix->row_stride(), n};
+      }
+    }
+  }
+
+  // Packed path: one contiguous scratch block, matrix rows copied in, jobs
+  // outside the matrix extracted in place.
+  scratch.resize(n * width);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = scratch.data() + i * width;
+    const float* from =
         matrix != nullptr ? matrix->find(jobs[i]->job_id) : nullptr;
-    rows[i] = FeatureRow{row};
-    if (row == nullptr) ++missing;
+    if (from != nullptr) {
+      std::copy(from, from + width, row);
+    } else {
+      extractor.extract_into(*jobs[i], common::Span<float>(row, width));
+    }
   }
-  // Sized once before the fill loop: growing mid-fill would invalidate the
-  // row pointers already handed out.
-  scratch.resize(missing * width);
-  std::size_t next = 0;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (rows[i].values != nullptr) continue;
-    float* row = scratch.data() + next * width;
-    extractor.extract_into(*jobs[i], common::Span<float>(row, width));
-    rows[i] = FeatureRow{row};
-    ++next;
-  }
-  return rows;
+  return FeatureBlock{scratch.data(), width, n};
 }
 
 CategoryModel CategoryModel::train(const std::vector<trace::Job>& train_jobs,
@@ -78,6 +94,10 @@ std::vector<int> CategoryModel::predict_batch(
   return classifier_.predict_batch(pointers.data(), pointers.size());
 }
 
+std::vector<int> CategoryModel::predict_block(const FeatureBlock& block) const {
+  return classifier_.predict_batch(block.base, block.stride, block.num_rows);
+}
+
 std::vector<int> CategoryModel::predict_categories(
     const std::vector<trace::Job>& jobs) const {
   return predict_categories(jobs, nullptr);
@@ -90,11 +110,11 @@ std::vector<int> CategoryModel::predict_categories(
   pointers.reserve(jobs.size());
   for (const auto& job : jobs) pointers.push_back(&job);
   std::vector<float> scratch;
-  const auto rows = gather_feature_rows(
+  const auto block = gather_feature_block(
       extractor_,
       common::Span<const trace::Job* const>(pointers.data(), pointers.size()),
       matrix, scratch);
-  return predict_batch(common::Span<const FeatureRow>(rows));
+  return predict_block(block);
 }
 
 double CategoryModel::top1_accuracy(

@@ -17,22 +17,34 @@
 
 namespace byom::core {
 
-// One pre-extracted feature vector, as consumed by the batched inference
-// path. `values` must point at extractor().num_features() floats that stay
-// alive for the duration of the predict_batch call.
+// One pre-extracted feature vector, as consumed by the caller-staged
+// batched inference path. `values` must point at
+// extractor().num_features() floats that stay alive for the duration of
+// the predict_batch call.
 struct FeatureRow {
   const float* values = nullptr;
 };
 
-// Gathers one FeatureRow per job: rows of `matrix` where available (and the
-// matrix width matches the extractor's schema), freshly extracted rows
-// otherwise. `scratch` owns the extracted storage and must outlive the
-// returned rows. Shared by every matrix-aware batch-inference path so the
-// fallback rules cannot diverge.
-std::vector<FeatureRow> gather_feature_rows(
-    const features::FeatureExtractor& extractor,
-    common::Span<const trace::Job* const> jobs,
-    const features::FeatureMatrix* matrix, std::vector<float>& scratch);
+// One contiguous strided block of feature rows: row r of the batch starts
+// at base + r * stride. This is what the compiled flat-forest kernel
+// consumes — no per-row pointer staging.
+struct FeatureBlock {
+  const float* base = nullptr;
+  std::size_t stride = 0;
+  std::size_t num_rows = 0;
+};
+
+// Gathers the jobs' feature rows into one strided block: when every job
+// resolves to consecutive rows of `matrix` (and the matrix width matches
+// the extractor's schema) the matrix storage is aliased directly — zero
+// copy, zero staging; otherwise rows are packed into `scratch` (matrix
+// rows copied, jobs outside the matrix extracted). `scratch` must outlive
+// the returned block. Shared by every matrix-aware batch-inference path so
+// the fallback rules cannot diverge.
+FeatureBlock gather_feature_block(const features::FeatureExtractor& extractor,
+                                  common::Span<const trace::Job* const> jobs,
+                                  const features::FeatureMatrix* matrix,
+                                  std::vector<float>& scratch);
 
 struct CategoryModelConfig {
   int num_categories = 15;  // paper default: 15-class model
@@ -57,10 +69,13 @@ class CategoryModel {
   // Ground-truth category from post-execution measurements.
   int true_category(const trace::Job& job) const;
 
-  // Batched inference over pre-extracted feature rows. Bit-identical to
-  // calling predict_category per row, but traverses the forest tree-by-tree
-  // across the whole batch (cache-friendly node-block order).
+  // Batched inference over caller-staged feature rows. Bit-identical to
+  // calling predict_category per row; routed through the compiled
+  // flat-forest kernel.
   std::vector<int> predict_batch(common::Span<const FeatureRow> rows) const;
+  // Batched inference over one contiguous strided feature block — the
+  // zero-staging fast path the gatherer above produces.
+  std::vector<int> predict_block(const FeatureBlock& block) const;
   // Convenience: extracts features for every job, then predicts in one
   // batch. This is the sweep/serving fast path.
   std::vector<int> predict_categories(

@@ -67,23 +67,24 @@ class GbdtBackend final : public ModelBackend {
     return model_->predict_category(job);
   }
 
-  // The node-block batched forest traversal; bit-identical to per-job
+  // The compiled flat-forest batched traversal; bit-identical to per-job
   // prediction by CategoryModel's own contract.
   std::vector<int> predict_batch(
       common::Span<const trace::Job* const> jobs) const override {
     return predict_batch(jobs, nullptr);
   }
 
-  // With a shared matrix, rows are read straight out of the contiguous
-  // block; only jobs outside the matrix (or a schema-mismatched matrix)
-  // are extracted, into one scratch buffer sized once.
+  // With a shared matrix, the gatherer aliases the contiguous matrix block
+  // when the jobs resolve to consecutive rows (zero copies) and otherwise
+  // packs one scratch block sized once; either way the compiled kernel
+  // reads a strided block — no per-row pointer staging.
   std::vector<int> predict_batch(
       common::Span<const trace::Job* const> jobs,
       const features::FeatureMatrix* matrix) const override {
     std::vector<float> scratch;
-    const auto rows =
-        gather_feature_rows(model_->extractor(), jobs, matrix, scratch);
-    return model_->predict_batch(common::Span<const FeatureRow>(rows));
+    const auto block =
+        gather_feature_block(model_->extractor(), jobs, matrix, scratch);
+    return model_->predict_block(block);
   }
 
  private:

@@ -42,11 +42,25 @@ class FeatureMatrix {
     return values_.data() + index * width_;
   }
 
+  // Strided-row view of the contiguous storage: row i starts at
+  // data() + i * row_stride(). Batch consumers (the compiled flat-forest
+  // kernel) read blocks straight off this instead of staging per-row
+  // pointer arrays.
+  const float* data() const { return values_.data(); }
+  std::size_t row_stride() const { return width_; }
+
   // The row for a job id, or nullptr when the job is not in this matrix
   // (the caller falls back to extracting that job itself).
   const float* find(std::uint64_t job_id) const {
     const auto it = rows_.find(job_id);
     return it == rows_.end() ? nullptr : row(it->second);
+  }
+
+  // The row index for a job id, or -1 when absent. Lets batch gatherers
+  // detect runs of consecutive rows and alias the matrix storage directly.
+  std::ptrdiff_t row_index(std::uint64_t job_id) const {
+    const auto it = rows_.find(job_id);
+    return it == rows_.end() ? -1 : static_cast<std::ptrdiff_t>(it->second);
   }
 
  private:

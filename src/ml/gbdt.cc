@@ -27,6 +27,10 @@ void softmax_inplace(std::vector<double>& scores) {
   for (double& s : scores) s /= sum;
 }
 
+// predict() scores into this much stack before falling back to the heap;
+// class counts beyond it are far outside the paper's 15-class regime.
+constexpr int kStackClasses = 64;
+
 std::vector<std::uint32_t> subsample_rows(std::size_t n, double fraction,
                                           common::Rng& rng) {
   std::vector<std::uint32_t> rows;
@@ -103,17 +107,27 @@ void GbdtClassifier::train(const Dataset& data, const std::vector<int>& labels,
       trees_.push_back(std::move(tree));
     }
   }
+  recompile();
+}
+
+void GbdtClassifier::recompile() {
+  forest_ = num_classes_ > 0
+                ? FlatForest::compile(trees_, num_classes_, learning_rate_)
+                : FlatForest{};
 }
 
 std::size_t GbdtClassifier::num_trees() const { return trees_.size(); }
 
 std::vector<double> GbdtClassifier::scores(const float* features) const {
   std::vector<double> out(static_cast<std::size_t>(num_classes_), 0.0);
-  const auto k = static_cast<std::size_t>(num_classes_);
-  for (std::size_t t = 0; t < trees_.size(); ++t) {
-    out[t % k] += learning_rate_ * trees_[t].predict(features);
+  if (forest_.compiled()) {
+    forest_.score_into(features, out.data());
   }
   return out;
+}
+
+void GbdtClassifier::scores_into(const float* features, double* out) const {
+  forest_.score_into(features, out);
 }
 
 std::vector<double> GbdtClassifier::predict_proba(
@@ -124,12 +138,35 @@ std::vector<double> GbdtClassifier::predict_proba(
 }
 
 int GbdtClassifier::predict(const float* features) const {
-  const auto s = scores(features);
-  return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+  const auto k = static_cast<std::size_t>(num_classes_);
+  double stack[kStackClasses];
+  std::vector<double> heap;
+  double* buf = stack;
+  if (num_classes_ > kStackClasses) {
+    heap.resize(k);
+    buf = heap.data();
+  }
+  forest_.score_into(features, buf);
+  return static_cast<int>(std::max_element(buf, buf + k) - buf);
 }
 
 void GbdtClassifier::scores_batch(const float* const* rows, std::size_t n,
                                   double* out) const {
+  if (!forest_.compiled()) {
+    scores_batch_nodeblock(rows, n, out);
+    return;
+  }
+  forest_.score_rows(rows, n, out);
+}
+
+void GbdtClassifier::scores_batch(const float* base, std::size_t row_stride,
+                                  std::size_t n, double* out) const {
+  forest_.score_strided(base, row_stride, n, out);
+}
+
+void GbdtClassifier::scores_batch_nodeblock(const float* const* rows,
+                                            std::size_t n,
+                                            double* out) const {
   const auto k = static_cast<std::size_t>(num_classes_);
   std::fill(out, out + n * k, 0.0);
   for (std::size_t t = 0; t < trees_.size(); ++t) {
@@ -137,17 +174,37 @@ void GbdtClassifier::scores_batch(const float* const* rows, std::size_t n,
   }
 }
 
+namespace {
+
+// Deterministic per-row argmax over a scores block (ties break toward the
+// lower class id, like std::max_element).
+std::vector<int> argmax_rows(const double* scores, std::size_t n,
+                             std::size_t k) {
+  std::vector<int> out(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* row = scores + r * k;
+    out[r] = static_cast<int>(std::max_element(row, row + k) - row);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<int> GbdtClassifier::predict_batch(const float* const* rows,
                                                std::size_t n) const {
   const auto k = static_cast<std::size_t>(num_classes_);
   std::vector<double> scores(n * k);
   scores_batch(rows, n, scores.data());
-  std::vector<int> out(n, 0);
-  for (std::size_t r = 0; r < n; ++r) {
-    const double* row = scores.data() + r * k;
-    out[r] = static_cast<int>(std::max_element(row, row + k) - row);
-  }
-  return out;
+  return argmax_rows(scores.data(), n, k);
+}
+
+std::vector<int> GbdtClassifier::predict_batch(const float* base,
+                                               std::size_t row_stride,
+                                               std::size_t n) const {
+  const auto k = static_cast<std::size_t>(num_classes_);
+  std::vector<double> scores(n * k);
+  scores_batch(base, row_stride, n, scores.data());
+  return argmax_rows(scores.data(), n, k);
 }
 
 void GbdtClassifier::save(std::ostream& out) const {
@@ -170,6 +227,7 @@ GbdtClassifier GbdtClassifier::load(std::istream& in) {
   for (std::size_t i = 0; i < num_trees; ++i) {
     model.trees_.push_back(RegressionTree::load(in));
   }
+  model.recompile();
   return model;
 }
 
@@ -225,12 +283,36 @@ void GbdtRegressor::train(const Dataset& data,
     }
     trees_.push_back(std::move(tree));
   }
+  recompile();
+}
+
+void GbdtRegressor::recompile() {
+  // A regressor is the single-class forest with the mean target as base.
+  forest_ = FlatForest::compile(trees_, 1, learning_rate_, base_);
 }
 
 double GbdtRegressor::predict(const float* features) const {
+  if (!forest_.compiled()) return predict_nodeblock(features);
+  double out = 0.0;
+  forest_.score_into(features, &out);
+  return out;
+}
+
+double GbdtRegressor::predict_nodeblock(const float* features) const {
   double out = base_;
   for (const auto& t : trees_) out += learning_rate_ * t.predict(features);
   return out;
+}
+
+void GbdtRegressor::predict_batch(const float* base, std::size_t row_stride,
+                                  std::size_t n, double* out) const {
+  if (!forest_.compiled()) {
+    for (std::size_t r = 0; r < n; ++r) {
+      out[r] = predict_nodeblock(base + r * row_stride);
+    }
+    return;
+  }
+  forest_.score_strided(base, row_stride, n, out);
 }
 
 void GbdtRegressor::save(std::ostream& out) const {
@@ -253,6 +335,7 @@ GbdtRegressor GbdtRegressor::load(std::istream& in) {
   for (std::size_t i = 0; i < num_trees; ++i) {
     model.trees_.push_back(RegressionTree::load(in));
   }
+  model.recompile();
   return model;
 }
 

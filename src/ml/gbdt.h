@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ml/dataset.h"
+#include "ml/flat_forest.h"
 #include "ml/tree.h"
 
 namespace byom::ml {
@@ -45,15 +46,36 @@ class GbdtClassifier {
   std::vector<double> predict_proba(const float* features) const;
   int predict(const float* features) const;
 
-  // Batched inference over n feature rows (node-block traversal: trees
-  // outer, rows inner, so each tree's nodes stay cache-resident for the
-  // whole batch). Produces exactly the same classes as per-row predict().
-  // scores_batch fills out[r * num_classes() + k]; out must hold
-  // n * num_classes() doubles.
+  // Zero-allocation single-row scoring through the compiled forest:
+  // fills out[0 .. num_classes()) with the raw per-class scores,
+  // bit-identical to scores().
+  void scores_into(const float* features, double* out) const;
+
+  // Batched inference over n feature rows through the compiled FlatForest
+  // (blocked SoA traversal; see ml/flat_forest.h). Produces exactly the
+  // same classes as per-row predict() and scores bit-identical to the
+  // node-block reference below. scores_batch fills
+  // out[r * num_classes() + k]; out must hold n * num_classes() doubles.
   void scores_batch(const float* const* rows, std::size_t n,
                     double* out) const;
   std::vector<int> predict_batch(const float* const* rows,
                                  std::size_t n) const;
+  // Strided overloads reading row r at base + r * row_stride — the
+  // zero-staging path for contiguous feature blocks (FeatureMatrix
+  // storage, gathered scratch blocks).
+  void scores_batch(const float* base, std::size_t row_stride, std::size_t n,
+                    double* out) const;
+  std::vector<int> predict_batch(const float* base, std::size_t row_stride,
+                                 std::size_t n) const;
+
+  // The original node-block tree traversal (trees outer, rows inner over
+  // the 40-byte training nodes), kept as the bit-identity reference oracle
+  // for the compiled kernels — the same role simulate_synchronous plays
+  // for the event engine.
+  void scores_batch_nodeblock(const float* const* rows, std::size_t n,
+                              double* out) const;
+
+  const FlatForest& compiled_forest() const { return forest_; }
 
   // Text (de)serialization; the format is stable and human-inspectable.
   void save(std::ostream& out) const;
@@ -65,10 +87,14 @@ class GbdtClassifier {
   std::vector<int> split_counts(std::size_t num_features) const;
 
  private:
+  void recompile();
+
   int num_classes_ = 0;
   double learning_rate_ = 0.15;
   // trees_[round * num_classes_ + k]
   std::vector<RegressionTree> trees_;
+  // Compiled once per train()/load(); all inference routes through it.
+  FlatForest forest_;
 };
 
 // Scalar regressor with squared loss (grad = pred - target, hess = 1).
@@ -83,13 +109,25 @@ class GbdtRegressor {
   double predict(const float* features) const;
   std::size_t num_trees() const { return trees_.size(); }
 
+  // Compiled batch prediction over a contiguous strided block: fills
+  // out[0 .. n) with per-row predictions, bit-identical to predict().
+  void predict_batch(const float* base, std::size_t row_stride,
+                     std::size_t n, double* out) const;
+
+  // The original per-tree accumulation loop, kept as the bit-identity
+  // reference oracle for the compiled path.
+  double predict_nodeblock(const float* features) const;
+
   void save(std::ostream& out) const;
   static GbdtRegressor load(std::istream& in);
 
  private:
+  void recompile();
+
   double base_ = 0.0;
   double learning_rate_ = 0.15;
   std::vector<RegressionTree> trees_;
+  FlatForest forest_;
 };
 
 }  // namespace byom::ml

@@ -20,6 +20,18 @@ struct TreeParams {
 
 class RegressionTree {
  public:
+  // Tree nodes in build order (node 0 is the root). Exposed read-only so
+  // the compiled flat-forest arena (ml/flat_forest.h) can re-lay the tree
+  // out without this class knowing about the compiled format.
+  struct Node {
+    bool leaf = true;
+    int feature = -1;
+    float threshold = 0.0f;  // go left when value <= threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;  // leaf weight
+  };
+
   // Trains on binned columns: codes[f][r] in [0, num_bins(f)).
   // grad/hess are per-row first/second order gradients; `rows` selects the
   // training subset (supports row subsampling).
@@ -40,6 +52,7 @@ class RegressionTree {
                     double* out, std::size_t out_stride) const;
 
   std::size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
   int depth() const;
 
   // Text (de)serialization: one line per node.
@@ -51,14 +64,6 @@ class RegressionTree {
   void add_split_counts(std::vector<int>& counts) const;
 
  private:
-  struct Node {
-    bool leaf = true;
-    int feature = -1;
-    float threshold = 0.0f;  // go left when value <= threshold
-    int left = -1;
-    int right = -1;
-    double value = 0.0;  // leaf weight
-  };
   std::vector<Node> nodes_;
 
   int build(const std::vector<std::vector<std::uint8_t>>& codes,

@@ -150,6 +150,57 @@ TEST(AllocationGuard, PooledEscapeHatchReusesSlotsInSteadyState) {
       << "pooled escape-hatch slots were not reused";
 }
 
+TEST(AllocationGuard, CompiledBatchScoringIsAllocationFreeInSteadyState) {
+  // The compiled flat-forest kernel over a pre-extracted strided block into
+  // a preallocated scores buffer: the whole scoring loop must run without
+  // touching the heap.
+  static const core::CategoryModel model = [] {
+    core::CategoryModelConfig config;
+    config.num_categories = 6;
+    config.gbdt.num_rounds = 5;
+    return core::CategoryModel::train(split().train.jobs(), config);
+  }();
+  const auto& jobs = split().test.jobs();
+  const features::FeatureMatrix matrix(model.extractor(), jobs);
+  const auto& classifier = model.classifier();
+  const auto k = static_cast<std::size_t>(classifier.num_classes());
+  std::vector<double> scores(matrix.num_rows() * k);
+
+  classifier.scores_batch(matrix.data(), matrix.row_stride(),
+                          matrix.num_rows(), scores.data());  // warm-up
+  const std::uint64_t before = allocations();
+  for (int round = 0; round < 4; ++round) {
+    classifier.scores_batch(matrix.data(), matrix.row_stride(),
+                            matrix.num_rows(), scores.data());
+  }
+  EXPECT_EQ(allocations(), before)
+      << "compiled batch scoring allocated in steady state";
+}
+
+TEST(AllocationGuard, SingleRowScoringAndPredictAreAllocationFree) {
+  static const core::CategoryModel model = [] {
+    core::CategoryModelConfig config;
+    config.num_categories = 6;
+    config.gbdt.num_rounds = 5;
+    return core::CategoryModel::train(split().train.jobs(), config);
+  }();
+  const auto& jobs = split().test.jobs();
+  const features::FeatureMatrix matrix(model.extractor(), jobs);
+  const auto& classifier = model.classifier();
+  std::vector<double> out(static_cast<std::size_t>(classifier.num_classes()));
+
+  classifier.scores_into(matrix.row(0), out.data());  // warm-up
+  int acc = classifier.predict(matrix.row(0));
+  const std::uint64_t before = allocations();
+  for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
+    classifier.scores_into(matrix.row(r), out.data());
+    acc += classifier.predict(matrix.row(r));
+  }
+  EXPECT_EQ(allocations(), before)
+      << "single-row compiled scoring allocated on the per-row path";
+  EXPECT_GE(acc, 0);
+}
+
 // ---------------------------------------------------- typed event engine
 
 TEST(TypedEvents, InterleaveWithEscapeHatchBySequence) {

@@ -341,6 +341,165 @@ TEST(GbdtClassifier, SplitCountsFavorInformativeFeatures) {
   EXPECT_GT(counts[0] + counts[1], counts[2] * 3);
 }
 
+// ------------------------------------------------------------ flat forest
+//
+// The compiled SoA kernel must be bit-identical to the node-block
+// traversal it replaced (scores_batch_nodeblock, the reference oracle):
+// same float comparison semantics, same per-accumulator double addition
+// order. These tests compare with EXPECT_EQ on doubles — exact equality,
+// not tolerance.
+
+TEST(FlatForest, CompiledScoresBitIdenticalToNodeBlock) {
+  std::vector<int> labels;
+  const auto data = three_class_dataset(labels, 1500, 23);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 15;
+  model.train(data, labels, 3, params);
+  ASSERT_TRUE(model.compiled_forest().compiled());
+
+  std::vector<const float*> rows(data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) rows[r] = data.row(r);
+
+  // Edge batch sizes around the kernel's row-block boundary (64): empty,
+  // single row, one-off-the-block, exact block, block+1, two-blocks+2.
+  for (const std::size_t n : {0u, 1u, 63u, 64u, 65u, 130u}) {
+    ASSERT_LE(n, rows.size());
+    std::vector<double> compiled(n * 3, -1.0);
+    std::vector<double> reference(n * 3, -2.0);
+    model.scores_batch(rows.data(), n, compiled.data());
+    model.scores_batch_nodeblock(rows.data(), n, reference.data());
+    for (std::size_t i = 0; i < n * 3; ++i) {
+      EXPECT_EQ(compiled[i], reference[i]) << "n=" << n << " i=" << i;
+    }
+    const auto classes = model.predict_batch(rows.data(), n);
+    ASSERT_EQ(classes.size(), n);
+    for (std::size_t r = 0; r < n; ++r) {
+      EXPECT_EQ(classes[r], model.predict(rows[r])) << "n=" << n;
+    }
+  }
+}
+
+TEST(FlatForest, StridedMatchesRowPointers) {
+  std::vector<int> labels;
+  const auto data = three_class_dataset(labels, 200, 24);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 8;
+  model.train(data, labels, 3, params);
+
+  // Pack the rows into a padded block: stride wider than the row so the
+  // kernel's base + r * stride arithmetic is actually exercised.
+  const std::size_t width = data.num_features();
+  const std::size_t stride = width + 3;
+  const std::size_t n = data.num_rows();
+  std::vector<float> block(n * stride, -99.0f);
+  std::vector<const float*> rows(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::copy(data.row(r), data.row(r) + width, block.data() + r * stride);
+    rows[r] = data.row(r);
+  }
+
+  std::vector<double> strided(n * 3), pointer(n * 3);
+  model.scores_batch(block.data(), stride, n, strided.data());
+  model.scores_batch(rows.data(), n, pointer.data());
+  for (std::size_t i = 0; i < n * 3; ++i) {
+    EXPECT_EQ(strided[i], pointer[i]);
+  }
+  EXPECT_EQ(model.predict_batch(block.data(), stride, n),
+            model.predict_batch(rows.data(), n));
+}
+
+TEST(FlatForest, ScoresIntoMatchesScores) {
+  std::vector<int> labels;
+  const auto data = three_class_dataset(labels, 300, 25);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 8;
+  model.train(data, labels, 3, params);
+  double out[3];
+  for (std::size_t r = 0; r < 50; ++r) {
+    model.scores_into(data.row(r), out);
+    const auto expected = model.scores(data.row(r));
+    for (std::size_t k = 0; k < 3; ++k) EXPECT_EQ(out[k], expected[k]);
+  }
+}
+
+TEST(FlatForest, RecompiledAfterLoadBitIdentical) {
+  std::vector<int> labels;
+  const auto data = three_class_dataset(labels, 600, 26);
+  GbdtClassifier model;
+  GbdtParams params;
+  params.num_rounds = 10;
+  model.train(data, labels, 3, params);
+
+  std::stringstream ss;
+  model.save(ss);
+  const auto loaded = GbdtClassifier::load(ss);
+  ASSERT_TRUE(loaded.compiled_forest().compiled());
+
+  // Serialization round-trips doubles exactly (max_digits10), so the
+  // recompiled forest must score bit-identically to the original.
+  double a[3], b[3];
+  for (std::size_t r = 0; r < 100; ++r) {
+    model.scores_into(data.row(r), a);
+    loaded.scores_into(data.row(r), b);
+    for (std::size_t k = 0; k < 3; ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST(FlatForest, UntrainedLoadStaysUncompiled) {
+  // A default-constructed classifier saved and reloaded has no classes and
+  // no trees; recompile() must not throw and the forest stays uncompiled.
+  GbdtClassifier empty;
+  EXPECT_FALSE(empty.compiled_forest().compiled());
+  std::vector<double> none;
+  EXPECT_NO_THROW({
+    const auto classes = empty.predict_batch(
+        static_cast<const float* const*>(nullptr), 0);
+    EXPECT_TRUE(classes.empty());
+  });
+}
+
+TEST(FlatForest, RegressorCompiledMatchesNodeBlock) {
+  Dataset data({"x", "y"});
+  std::vector<double> targets;
+  Rng rng(27);
+  for (int i = 0; i < 800; ++i) {
+    const double x = rng.uniform(-2, 2);
+    const double y = rng.uniform(-1, 1);
+    data.add_row({static_cast<float>(x), static_cast<float>(y)});
+    targets.push_back(x * x + 0.5 * y);
+  }
+  GbdtRegressor model;
+  GbdtParams params;
+  params.num_rounds = 25;
+  model.train(data, targets, params);
+
+  // Per-row: compiled predict vs the reference accumulation loop.
+  for (std::size_t r = 0; r < 200; ++r) {
+    EXPECT_EQ(model.predict(data.row(r)), model.predict_nodeblock(data.row(r)));
+  }
+
+  // Strided batch (Dataset storage is row-major contiguous) across the
+  // same block-boundary edge sizes as the classifier suite.
+  for (const std::size_t n : {0u, 1u, 64u, 65u, 130u}) {
+    std::vector<double> batch(n, -1.0);
+    model.predict_batch(data.row(0), data.num_features(), n, batch.data());
+    for (std::size_t r = 0; r < n; ++r) {
+      EXPECT_EQ(batch[r], model.predict(data.row(r))) << "n=" << n;
+    }
+  }
+
+  // Round-trip: the recompiled forest predicts bit-identically.
+  std::stringstream ss;
+  model.save(ss);
+  const auto loaded = GbdtRegressor::load(ss);
+  for (std::size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(model.predict(data.row(r)), loaded.predict(data.row(r)));
+  }
+}
+
 TEST(GbdtRegressor, FitsQuadratic) {
   Dataset data({"x"});
   std::vector<double> targets;

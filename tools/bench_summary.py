@@ -62,6 +62,16 @@ RATIOS = [
         "better": "higher",
     },
     {
+        # Compiled flat-forest kernel (SoA arena, blocked traversal) over
+        # the node-block reference traversal, both reading the same shared
+        # feature matrix. The PR-8 acceptance bar is >= 2x.
+        "key": "compiled_vs_nodeblock_x",
+        "numerator": "BM_InferenceNodeBlock",
+        "denominator": "BM_InferenceCompiled",
+        "metric": "real_time",
+        "better": "higher",
+    },
+    {
         # Shard scaling of the serving path: requests/sec at 4 shards over
         # 1 shard. ~1.0 on a single-core host (lanes time-slice); the >= 2x
         # acceptance bar applies on the multi-core CI runner.
