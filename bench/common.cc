@@ -6,6 +6,7 @@
 
 #include "common/histogram.h"
 #include "core/byom.h"
+#include "policy/byom_policy.h"
 #include "framework/pipeline_runner.h"
 #include "policy/first_fit.h"
 #include "storage/cache_server.h"
@@ -172,13 +173,13 @@ MixedDeploymentResult MixedDeployment::run_adaptive_ranking(
       core::CategoryModel::train(train, bench_model_config(15)));
   auto registry = std::make_shared<core::ModelRegistry>();
   registry->set_default_model(model);
-  core::ByomPolicyOptions options;
+  policy::ByomPolicyOptions options;
   options.adaptive.num_categories = model->num_categories();
   // One batched inference pass over the replayed jobs; the cache server's
   // per-arrival decisions then consume precomputed hints.
-  options.hints = core::HintSource::kPrecomputed;
+  options.hints = policy::HintSource::kPrecomputed;
   options.precompute_jobs = &test;
-  storage::CacheServer server(cap, core::make_byom_policy(registry, options));
+  storage::CacheServer server(cap, policy::make_byom_policy(registry, options));
   for (const auto& j : test) server.submit(j);
   return measure(server);
 }

@@ -10,7 +10,7 @@
 
 #include "core/category_model.h"
 #include "policy/adaptive.h"
-#include "sim/experiment.h"
+#include "harness/experiment.h"
 #include "trace/generator.h"
 
 namespace byom::bench {

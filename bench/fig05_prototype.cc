@@ -15,6 +15,7 @@
 #include "common.h"
 #include "common/histogram.h"
 #include "core/byom.h"
+#include "policy/byom_policy.h"
 #include "framework/pipeline_runner.h"
 #include "framework/thread_pool.h"
 #include "policy/first_fit.h"
@@ -117,11 +118,11 @@ int main() {
                             cap);
     }));
     ar_runs.push_back(pool.submit([&test, registry, acfg, cap] {
-      core::ByomPolicyOptions options;
+      policy::ByomPolicyOptions options;
       options.adaptive = acfg;
-      options.hints = core::HintSource::kPrecomputed;
+      options.hints = policy::HintSource::kPrecomputed;
       options.precompute_jobs = &test;
-      return run_deployment(test, core::make_byom_policy(registry, options),
+      return run_deployment(test, policy::make_byom_policy(registry, options),
                             cap);
     }));
   }

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common.h"
-#include "sim/experiment_runner.h"
+#include "harness/experiment_runner.h"
 #include "sim/metrics.h"
 
 using namespace byom;

@@ -9,6 +9,7 @@
 #include "common.h"
 #include "common/rng.h"
 #include "features/feature_extractor.h"
+#include "ml/dataset_builder.h"
 #include "ml/importance.h"
 
 using namespace byom;
@@ -29,7 +30,7 @@ int main() {
   for (std::size_t i = 0; i < cluster.split.test.size(); i += 4) {
     eval_jobs.push_back(cluster.split.test.jobs()[i]);
   }
-  const auto data = model.extractor().make_dataset(eval_jobs);
+  const auto data = ml::make_dataset(model.extractor(), eval_jobs);
   const auto labels = model.labeler().label(eval_jobs);
 
   common::Rng rng(99);

@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "common.h"
-#include "sim/experiment_runner.h"
+#include "harness/experiment_runner.h"
 #include "sim/metrics.h"
 
 using namespace byom;

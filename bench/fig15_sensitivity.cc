@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common.h"
-#include "sim/experiment_runner.h"
+#include "harness/experiment_runner.h"
 
 using namespace byom;
 

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "common.h"
-#include "sim/experiment_runner.h"
+#include "harness/experiment_runner.h"
 
 using namespace byom;
 

@@ -16,7 +16,7 @@
 #include "oracle/greedy_oracle.h"
 #include "policy/first_fit.h"
 #include "serving/placement_service.h"
-#include "sim/experiment_runner.h"
+#include "harness/experiment_runner.h"
 #include "sim/sim_clock.h"
 #include "storage/dram_cache.h"
 

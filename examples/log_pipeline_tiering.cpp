@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/byom.h"
+#include "policy/byom_policy.h"
 #include "framework/dataflow.h"
 #include "framework/pipeline_runner.h"
 #include "policy/first_fit.h"
@@ -77,13 +78,13 @@ int main() {
   auto service = std::make_shared<serving::PlacementService>(registry,
                                                              serving_config);
 
-  core::ByomPolicyOptions options;
+  policy::ByomPolicyOptions options;
   options.adaptive.num_categories = model->num_categories();
-  options.hints = core::HintSource::kCustom;
+  options.hints = policy::HintSource::kCustom;
   options.custom_provider = serving::make_served_provider(service);
   const std::uint64_t ssd_quota = 64ULL << 30;  // 64 GiB of SSD for the team
   storage::CacheServer byom_server(ssd_quota,
-                                   core::make_byom_policy(registry, options));
+                                   policy::make_byom_policy(registry, options));
   storage::CacheServer firstfit_server(
       ssd_quota, std::make_shared<policy::FirstFitPolicy>());
 

@@ -8,7 +8,8 @@
 #include <set>
 
 #include "core/byom.h"
-#include "sim/experiment.h"
+#include "policy/byom_policy.h"
+#include "harness/experiment.h"
 #include "trace/generator.h"
 
 using namespace byom;
@@ -74,17 +75,17 @@ int main() {
 
   // Run the test week with the fully populated registry vs a registry with
   // NO models at all (everything on the hash fallback).
-  core::ByomPolicyOptions options;
+  policy::ByomPolicyOptions options;
   options.adaptive.num_categories = model_config.num_categories;
   const auto capacity = sim::quota_capacity(test, 0.01);
   sim::SimConfig sim_config;
   sim_config.ssd_capacity_bytes = capacity;
 
-  auto full_policy = core::make_byom_policy(registry, options);
+  auto full_policy = policy::make_byom_policy(registry, options);
   const auto full = sim::simulate(test, *full_policy, sim_config);
 
   auto empty_registry = std::make_shared<core::ModelRegistry>();
-  auto fallback_policy = core::make_byom_policy(empty_registry, options);
+  auto fallback_policy = policy::make_byom_policy(empty_registry, options);
   const auto fallback = sim::simulate(test, *fallback_policy, sim_config);
 
   std::printf("test week at 1%% SSD quota:\n");

@@ -11,8 +11,9 @@
 #include <memory>
 
 #include "core/byom.h"
+#include "policy/byom_policy.h"
 #include "policy/first_fit.h"
-#include "sim/experiment.h"
+#include "harness/experiment.h"
 #include "sim/simulator.h"
 #include "trace/generator.h"
 
@@ -41,9 +42,9 @@ int main() {
   //    here; see log_pipeline_tiering for the async serving loop).
   auto registry = std::make_shared<core::ModelRegistry>();
   registry->set_default_model(model);
-  core::ByomPolicyOptions options;
+  policy::ByomPolicyOptions options;
   options.adaptive.num_categories = model->num_categories();
-  auto byom_policy = core::make_byom_policy(registry, options);
+  auto byom_policy = policy::make_byom_policy(registry, options);
 
   // 4 + 5. Replay the test week at a tight SSD quota (1% of peak usage).
   sim::SimConfig sim_config;

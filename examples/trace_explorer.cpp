@@ -6,7 +6,7 @@
 #include <filesystem>
 
 #include "oracle/greedy_oracle.h"
-#include "sim/experiment.h"
+#include "harness/experiment.h"
 #include "trace/generator.h"
 #include "trace/trace_io.h"
 

@@ -41,52 +41,6 @@ CategoryProviderPtr make_registry_provider(
   return std::make_shared<RegistryProvider>(std::move(registry));
 }
 
-std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
-    std::shared_ptr<const ModelRegistry> registry,
-    const ByomPolicyOptions& options) {
-  if (!registry) {
-    throw std::invalid_argument("make_byom_policy: null registry");
-  }
-  auto sync = make_registry_provider(registry);
-  CategoryProviderPtr provider;
-  switch (options.hints) {
-    case HintSource::kSync:
-      provider = std::move(sync);
-      break;
-    case HintSource::kPrecomputed: {
-      if (options.precompute_jobs == nullptr) {
-        throw std::invalid_argument(
-            "make_byom_policy: kPrecomputed requires precompute_jobs");
-      }
-      auto hints = std::make_shared<const CategoryHints>(precompute_categories(
-          *registry, *options.precompute_jobs,
-          options.adaptive.num_categories));
-      provider = make_fallback_chain(
-          {make_precomputed_provider(std::move(hints)), std::move(sync)});
-      break;
-    }
-    case HintSource::kCustom: {
-      if (!options.custom_provider) {
-        throw std::invalid_argument(
-            "make_byom_policy: kCustom requires custom_provider");
-      }
-      provider = make_fallback_chain(
-          {options.custom_provider, std::move(sync)});
-      break;
-    }
-  }
-  return std::make_unique<policy::AdaptiveCategoryPolicy>(
-      options.name, std::move(provider), options.adaptive);
-}
-
-std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
-    std::shared_ptr<const ModelRegistry> registry,
-    const policy::AdaptiveConfig& config) {
-  ByomPolicyOptions options;
-  options.adaptive = config;
-  return make_byom_policy(std::move(registry), options);
-}
-
 CategoryHints precompute_categories(const ModelRegistry& registry,
                                     const std::vector<trace::Job>& jobs,
                                     int fallback_num_categories,

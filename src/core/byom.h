@@ -8,36 +8,25 @@
 // The registry (core/model_registry.h: ShardedModelRegistry, holding
 // pluggable ModelBackend instances — GBDT, logistic regression, frequency
 // table, core/model_backend.h) keeps one backend per workload (keyed by
-// pipeline name) plus an optional cluster-default backend.
-// make_byom_policy() wires a registry into the Algorithm-1 policy through
-// the CategoryProvider API (core/category_provider.h): the registry
-// provider declines for workloads without any model, and the policy
-// degrades those decisions to a hash category — a missing/broken model
-// degrades one workload instead of the whole cluster (paper section 2.3:
-// "a model failure only affects one workload").
+// pipeline name) plus an optional cluster-default backend. The registry
+// provider built here declines for workloads without any model, so a
+// missing/broken model degrades one workload instead of the whole cluster
+// (paper section 2.3: "a model failure only affects one workload").
 //
-// Provider selection is a ByomPolicyOptions knob:
-//   kSync        per-job synchronous registry inference (default)
-//   kPrecomputed one batched predict_batch pass over known upcoming jobs,
-//                consumed as a hint table (offline sweeps)
-//   kCustom      caller-supplied provider placed ahead of the sync path,
-//                e.g. serving::make_served_provider() for the async
-//                request-queue -> batcher -> model serving loop
-//
-// make_byom_policy(registry, AdaptiveConfig) is a convenience overload for
-// the default (sync) hint source; everything else goes through
-// ByomPolicyOptions. (The old make_byom_policy_batched shim is gone — use
-// HintSource::kPrecomputed.)
+// The storage-layer composition — wiring a registry provider into the
+// Algorithm-1 adaptive policy — lives one layer up in
+// policy/byom_policy.h (make_byom_policy, ByomPolicyOptions): by the layer
+// contract (tools/layers.json) core publishes models and providers and
+// never names policy types.
 #pragma once
 
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "core/category_model.h"
 #include "core/category_provider.h"
 #include "core/model_registry.h"
-#include "policy/adaptive.h"
+#include "features/feature_matrix.h"
 
 namespace byom::core {
 
@@ -47,34 +36,6 @@ namespace byom::core {
 // a hot-swapped registration takes effect on the very next decision.
 CategoryProviderPtr make_registry_provider(
     std::shared_ptr<const ModelRegistry> registry);
-
-// Which provider sits in front of the policy (see header comment).
-enum class HintSource { kSync, kPrecomputed, kCustom };
-
-struct ByomPolicyOptions {
-  policy::AdaptiveConfig adaptive;
-  HintSource hints = HintSource::kSync;
-  // kPrecomputed: the known upcoming jobs, pre-categorized in one batched
-  // pass at construction time (borrowed only for the make_byom_policy
-  // call). Jobs outside the set still take the sync per-job path.
-  const std::vector<trace::Job>* precompute_jobs = nullptr;
-  // kCustom: consulted ahead of the sync registry path (e.g. a served or
-  // noisy provider); when it declines, the sync path answers.
-  CategoryProviderPtr custom_provider;
-  std::string name = "BYOM";
-};
-
-// The one constructor: builds the storage-layer Algorithm-1 policy for a
-// registry of application models, with the provider chain selected by
-// `options`.
-std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
-    std::shared_ptr<const ModelRegistry> registry,
-    const ByomPolicyOptions& options = {});
-
-// Convenience: make_byom_policy with default (sync) hints.
-std::unique_ptr<policy::AdaptiveCategoryPolicy> make_byom_policy(
-    std::shared_ptr<const ModelRegistry> registry,
-    const policy::AdaptiveConfig& config);
 
 // Batched hint precomputation: groups `jobs` by their responsible backend
 // and runs one ModelBackend::predict_batch per backend (the GBDT backend's

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "ml/dataset_builder.h"
 #include "ml/metrics.h"
 
 namespace byom::core {
@@ -62,7 +63,7 @@ CategoryModel CategoryModel::train(const std::vector<trace::Job>& train_jobs,
   CategoryModel model;
   model.labeler_ = CategoryLabeler::fit(train_jobs, config.num_categories);
   const auto labels = model.labeler_.label(train_jobs);
-  const auto data = model.extractor_.make_dataset(train_jobs);
+  const auto data = ml::make_dataset(model.extractor_, train_jobs);
   model.classifier_.train(data, labels, config.num_categories, config.gbdt);
   return model;
 }

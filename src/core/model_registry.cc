@@ -38,9 +38,14 @@ void ShardedModelRegistry::register_model(const std::string& pipeline_name,
     auto next = current ? std::make_shared<ModelMap>(*current)
                         : std::make_shared<ModelMap>();
     (*next)[pipeline_name] = std::move(backend);
+    // atomic: release — publishes the fully built map; pairs with the
+    // acquire snapshot loads in lookup() / num_models()
     std::atomic_store_explicit(&shard.snapshot, ModelMapPtr(std::move(next)),
                                std::memory_order_release);
   }
+  // atomic: acq_rel — epoch bump pairs with epoch()'s acquire load, so a
+  // reader that observes the new epoch also observes the snapshot
+  // published above
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   swaps_.fetch_add(1);
 }
@@ -56,6 +61,8 @@ void ShardedModelRegistry::set_default_model(ModelBackendPtr backend) {
     throw std::invalid_argument("set_default_model: null backend");
   }
   std::atomic_store(&default_model_, std::move(backend));
+  // atomic: acq_rel — pairs with epoch()'s acquire load (see
+  // register_model)
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   swaps_.fetch_add(1);
 }
@@ -69,6 +76,8 @@ void ShardedModelRegistry::set_default_model(
 // hash probe; shared_ptr refcount traffic only, no allocation.
 ModelBackendPtr ShardedModelRegistry::lookup(const trace::Job& job) const {
   const Shard& shard = shard_for(job.pipeline_name);
+  // atomic: acquire — pairs with register_model's release publish; a
+  // non-null snapshot is a fully constructed map
   if (const ModelMapPtr snapshot = std::atomic_load_explicit(
           &shard.snapshot, std::memory_order_acquire)) {
     const auto it = snapshot->find(job.pipeline_name);
@@ -80,6 +89,7 @@ ModelBackendPtr ShardedModelRegistry::lookup(const trace::Job& job) const {
 std::size_t ShardedModelRegistry::num_models() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
+    // atomic: acquire — pairs with register_model's release publish
     if (const ModelMapPtr snapshot = std::atomic_load_explicit(
             &shard->snapshot, std::memory_order_acquire)) {
       total += snapshot->size();

@@ -22,7 +22,7 @@
 // inference even if a writer swaps the registration mid-flight; the old
 // backend is destroyed when the last in-flight reader drops it. This is
 // what lets retrain events on the virtual timeline *install* freshly
-// trained backends (core/staleness.h hook, sim/experiment.h wiring) instead
+// trained backends (core/staleness.h hook, harness/experiment.h wiring) instead
 // of merely resetting a staleness counter.
 //
 // Granularity mirrors the paper: one default backend per cluster ("the
@@ -81,6 +81,9 @@ class ShardedModelRegistry {
   // readers (and tests) can cheaply detect "the registry changed since I
   // last looked" without touching any shard.
   std::uint64_t epoch() const {
+    // atomic: acquire — pairs with the acq_rel epoch bump in
+    // register_model/set_default_model; observing the bump implies the
+    // snapshot swap that preceded it is visible
     return epoch_.load(std::memory_order_acquire);
   }
 

@@ -60,14 +60,13 @@ namespace {
 class StaleProvider final : public CategoryProvider {
  public:
   StaleProvider(CategoryProviderPtr inner,
-                std::shared_ptr<StalenessSchedule> schedule,
-                std::shared_ptr<const sim::SimClock> clock)
+                std::shared_ptr<StalenessSchedule> schedule, TimeFn now)
       : inner_(std::move(inner)),
         schedule_(std::move(schedule)),
-        clock_(std::move(clock)),
+        now_(std::move(now)),
         hash_(make_hash_provider(schedule_ ? schedule_->config().num_categories
                                            : 2)) {
-    if (!inner_ || !schedule_ || !clock_) {
+    if (!inner_ || !schedule_ || !now_) {
       throw std::invalid_argument("make_stale_provider: null argument");
     }
   }
@@ -79,7 +78,7 @@ class StaleProvider final : public CategoryProvider {
   std::optional<int> category(const trace::Job& job) override {
     const auto hint = inner_->category(job);
     if (!hint) return hint;
-    const double p = schedule_->corruption_probability(clock_->now());
+    const double p = schedule_->corruption_probability(now_());
     if (p <= 0.0) return hint;
     // Per-job coin from (seed, job_id) only: for a fixed p the corrupted
     // set is the same across runs/threads, and as p grows the sets nest.
@@ -94,17 +93,17 @@ class StaleProvider final : public CategoryProvider {
  private:
   CategoryProviderPtr inner_;
   std::shared_ptr<StalenessSchedule> schedule_;
-  std::shared_ptr<const sim::SimClock> clock_;
+  TimeFn now_;
   CategoryProviderPtr hash_;
 };
 
 }  // namespace
 
-CategoryProviderPtr make_stale_provider(
-    CategoryProviderPtr inner, std::shared_ptr<StalenessSchedule> schedule,
-    std::shared_ptr<const sim::SimClock> clock) {
+CategoryProviderPtr make_stale_provider(CategoryProviderPtr inner,
+                                        std::shared_ptr<StalenessSchedule> schedule,
+                                        TimeFn now) {
   return std::make_shared<StaleProvider>(std::move(inner), std::move(schedule),
-                                         std::move(clock));
+                                         std::move(now));
 }
 
 }  // namespace byom::core

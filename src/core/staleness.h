@@ -12,11 +12,13 @@
 // probability 1 - 2^(-A / half_life). A retrain resets the age to zero.
 //
 // The event-driven simulator schedules one retrain event per period on the
-// shared sim::SimClock (SimClock::kRetrainPriority, so a retrain at time t
-// governs every hint consumed at t); each event calls on_retrain(), which
-// swaps the schedule to the fresh epoch. make_stale_provider() decorates a
-// category provider so hints read the schedule's current age through the
-// clock.
+// shared virtual clock (sim/sim_clock.h, SimClock::kRetrainPriority, so a
+// retrain at time t governs every hint consumed at t); each event calls
+// on_retrain(), which swaps the schedule to the fresh epoch.
+// make_stale_provider() decorates a category provider so hints read the
+// schedule's current age through a caller-supplied TimeFn — core never
+// names the simulator's clock type (layer contract, tools/layers.json);
+// the harness passes `[clock] { return clock->now(); }`.
 //
 // Determinism contract: the per-job corruption coin derives only from
 // (seed, job_id), so for a fixed decision time the set of corrupted jobs is
@@ -31,9 +33,13 @@
 
 #include "common/thread_annotations.h"
 #include "core/category_provider.h"
-#include "sim/sim_clock.h"
 
 namespace byom::core {
+
+// Virtual-time accessor the staleness decorator reads decision times from.
+// Deliberately a plain callable: the deterministic core consumes time, it
+// never owns a clock (the simulator's SimClock stays above this layer).
+using TimeFn = std::function<double()>;
 
 struct StalenessConfig {
   // Virtual time the deployed model was trained (typically the test trace's
@@ -82,7 +88,7 @@ class BYOM_EXTERNALLY_SYNCHRONIZED StalenessSchedule {
   // The deployment side of a retrain: called by on_retrain(t) *before* the
   // age reset, so the hook observes the stale epoch it is replacing. The
   // factory wires this to hot-swap freshly trained ModelBackends into the
-  // serving ShardedModelRegistry (sim/experiment.h) — a retrain genuinely
+  // serving ShardedModelRegistry (harness/experiment.h) — a retrain genuinely
   // installs a new model instead of only resetting this schedule's counter.
   void set_retrain_hook(std::function<void(double)> hook);
 
@@ -94,11 +100,11 @@ class BYOM_EXTERNALLY_SYNCHRONIZED StalenessSchedule {
 };
 
 // Decorates `inner` with the schedule's staleness dynamics, reading the
-// decision time from `clock` (the simulator's virtual time source). Hints
+// decision time from `now` (the simulator's virtual time source). Hints
 // the inner provider declines pass through untouched — staleness models a
 // wrong hint, not a missing one.
-CategoryProviderPtr make_stale_provider(
-    CategoryProviderPtr inner, std::shared_ptr<StalenessSchedule> schedule,
-    std::shared_ptr<const sim::SimClock> clock);
+CategoryProviderPtr make_stale_provider(CategoryProviderPtr inner,
+                                        std::shared_ptr<StalenessSchedule> schedule,
+                                        TimeFn now);
 
 }  // namespace byom::core

@@ -106,16 +106,4 @@ void FeatureExtractor::extract_into(const trace::Job& job,
   }
 }
 
-ml::Dataset FeatureExtractor::make_dataset(
-    const std::vector<trace::Job>& jobs) const {
-  ml::Dataset data(names_);
-  std::vector<float> row(num_features());
-  const common::Span<float> row_span(row.data(), row.size());
-  for (const auto& job : jobs) {
-    extract_into(job, row_span);
-    data.add_row(row);
-  }
-  return data;
-}
-
 }  // namespace byom::features

@@ -7,7 +7,6 @@
 #include <vector>
 
 #include "common/span.h"
-#include "ml/dataset.h"
 #include "trace/job.h"
 
 namespace byom::features {
@@ -40,9 +39,6 @@ class FeatureExtractor {
   // matrix-building hot paths use this so steady-state extraction performs
   // no heap allocation at all. Bit-identical to extract().
   void extract_into(const trace::Job& job, common::Span<float> out) const;
-
-  // Builds an ml::Dataset over many jobs.
-  ml::Dataset make_dataset(const std::vector<trace::Job>& jobs) const;
 
  private:
   int metadata_buckets_;

@@ -1,4 +1,4 @@
-#include "sim/experiment.h"
+#include "harness/experiment.h"
 
 #include <algorithm>
 #include <stdexcept>
@@ -452,8 +452,9 @@ PolicyContext MethodFactory::make_served_latency_context(
                                      retrained_backend(kind, pipeline));
           }
         });
-    provider = core::make_stale_provider(std::move(provider),
-                                         context.staleness, context.clock);
+    provider = core::make_stale_provider(
+        std::move(provider), context.staleness,
+        [clock = context.clock] { return clock->now(); });
   }
 
   if (options.hint_noise > 0.0) {

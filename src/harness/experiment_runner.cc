@@ -1,4 +1,4 @@
-#include "sim/experiment_runner.h"
+#include "harness/experiment_runner.h"
 
 #include <stdexcept>
 

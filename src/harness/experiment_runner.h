@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "framework/thread_pool.h"
-#include "sim/experiment.h"
+#include "harness/experiment.h"
 
 namespace byom::sim {
 

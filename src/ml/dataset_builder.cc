@@ -1,0 +1,19 @@
+#include "ml/dataset_builder.h"
+
+#include "common/span.h"
+
+namespace byom::ml {
+
+Dataset make_dataset(const features::FeatureExtractor& extractor,
+                     const std::vector<trace::Job>& jobs) {
+  Dataset data(extractor.feature_names());
+  std::vector<float> row(extractor.num_features());
+  const common::Span<float> row_span(row.data(), row.size());
+  for (const auto& job : jobs) {
+    extractor.extract_into(job, row_span);
+    data.add_row(row);
+  }
+  return data;
+}
+
+}  // namespace byom::ml

@@ -1,0 +1,22 @@
+// Bridges the feature pipeline into the learner's Dataset: one
+// FeatureExtractor pass per job, rows appended in trace order.
+//
+// Lives in ml/ (not features/) by the layer contract (tools/layers.json):
+// the learner may consume the feature pipeline, but the feature pipeline
+// must not know the learner's container types.
+#pragma once
+
+#include <vector>
+
+#include "features/feature_extractor.h"
+#include "ml/dataset.h"
+#include "trace/job.h"
+
+namespace byom::ml {
+
+// Builds a Dataset over `jobs` with `extractor`'s schema (one extract_into
+// per job; bit-identical to extracting each row individually).
+Dataset make_dataset(const features::FeatureExtractor& extractor,
+                     const std::vector<trace::Job>& jobs);
+
+}  // namespace byom::ml

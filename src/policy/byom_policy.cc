@@ -1,0 +1,55 @@
+#include "policy/byom_policy.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace byom::policy {
+
+std::unique_ptr<AdaptiveCategoryPolicy> make_byom_policy(
+    std::shared_ptr<const core::ModelRegistry> registry,
+    const ByomPolicyOptions& options) {
+  if (!registry) {
+    throw std::invalid_argument("make_byom_policy: null registry");
+  }
+  auto sync = core::make_registry_provider(registry);
+  core::CategoryProviderPtr provider;
+  switch (options.hints) {
+    case HintSource::kSync:
+      provider = std::move(sync);
+      break;
+    case HintSource::kPrecomputed: {
+      if (options.precompute_jobs == nullptr) {
+        throw std::invalid_argument(
+            "make_byom_policy: kPrecomputed requires precompute_jobs");
+      }
+      auto hints =
+          std::make_shared<const core::CategoryHints>(core::precompute_categories(
+              *registry, *options.precompute_jobs,
+              options.adaptive.num_categories));
+      provider = core::make_fallback_chain(
+          {core::make_precomputed_provider(std::move(hints)), std::move(sync)});
+      break;
+    }
+    case HintSource::kCustom: {
+      if (!options.custom_provider) {
+        throw std::invalid_argument(
+            "make_byom_policy: kCustom requires custom_provider");
+      }
+      provider = core::make_fallback_chain(
+          {options.custom_provider, std::move(sync)});
+      break;
+    }
+  }
+  return std::make_unique<AdaptiveCategoryPolicy>(
+      options.name, std::move(provider), options.adaptive);
+}
+
+std::unique_ptr<AdaptiveCategoryPolicy> make_byom_policy(
+    std::shared_ptr<const core::ModelRegistry> registry,
+    const AdaptiveConfig& config) {
+  ByomPolicyOptions options;
+  options.adaptive = config;
+  return make_byom_policy(std::move(registry), options);
+}
+
+}  // namespace byom::policy

@@ -1,0 +1,66 @@
+// The storage-layer end of the BYOM contract (paper Figure 3): wires a
+// registry of per-workload application models (core/model_registry.h) into
+// the Algorithm-1 adaptive category policy through the CategoryProvider
+// API. The registry provider declines for workloads without any model, and
+// the policy degrades those decisions to a hash category — a missing or
+// broken model degrades one workload instead of the whole cluster (paper
+// section 2.3: "a model failure only affects one workload").
+//
+// Provider selection is a ByomPolicyOptions knob:
+//   kSync        per-job synchronous registry inference (default)
+//   kPrecomputed one batched predict_batch pass over known upcoming jobs,
+//                consumed as a hint table (offline sweeps)
+//   kCustom      caller-supplied provider placed ahead of the sync path,
+//                e.g. serving::make_served_provider() for the async
+//                request-queue -> batcher -> model serving loop
+//
+// make_byom_policy(registry, AdaptiveConfig) is a convenience overload for
+// the default (sync) hint source; everything else goes through
+// ByomPolicyOptions.
+//
+// This lives in policy/ (not core/) by the layer contract
+// (tools/layers.json): core publishes models and providers; the policy
+// layer composes them into placement policies, never the other way around.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/byom.h"
+#include "core/category_provider.h"
+#include "core/model_registry.h"
+#include "policy/adaptive.h"
+#include "trace/job.h"
+
+namespace byom::policy {
+
+// Which provider sits in front of the policy (see header comment).
+enum class HintSource { kSync, kPrecomputed, kCustom };
+
+struct ByomPolicyOptions {
+  AdaptiveConfig adaptive;
+  HintSource hints = HintSource::kSync;
+  // kPrecomputed: the known upcoming jobs, pre-categorized in one batched
+  // pass at construction time (borrowed only for the make_byom_policy
+  // call). Jobs outside the set still take the sync per-job path.
+  const std::vector<trace::Job>* precompute_jobs = nullptr;
+  // kCustom: consulted ahead of the sync registry path (e.g. a served or
+  // noisy provider); when it declines, the sync path answers.
+  core::CategoryProviderPtr custom_provider;
+  std::string name = "BYOM";
+};
+
+// The one constructor: builds the storage-layer Algorithm-1 policy for a
+// registry of application models, with the provider chain selected by
+// `options`.
+std::unique_ptr<AdaptiveCategoryPolicy> make_byom_policy(
+    std::shared_ptr<const core::ModelRegistry> registry,
+    const ByomPolicyOptions& options = {});
+
+// Convenience: make_byom_policy with default (sync) hints.
+std::unique_ptr<AdaptiveCategoryPolicy> make_byom_policy(
+    std::shared_ptr<const core::ModelRegistry> registry,
+    const AdaptiveConfig& config);
+
+}  // namespace byom::policy

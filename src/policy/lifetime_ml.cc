@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/dataset_builder.h"
+
 namespace byom::policy {
 
 LifetimeMlPolicy::LifetimeMlPolicy(const std::vector<trace::Job>& train_jobs,
                                    const LifetimeMlConfig& config)
     : config_(config) {
-  const auto data = extractor_.make_dataset(train_jobs);
+  const auto data = ml::make_dataset(extractor_, train_jobs);
   std::vector<double> log_lifetimes;
   log_lifetimes.reserve(train_jobs.size());
   for (const auto& j : train_jobs) {

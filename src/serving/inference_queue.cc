@@ -55,6 +55,7 @@ bool InferenceRequestQueue::try_push(InferenceRequest request) {
   Stripe& stripe = *stripes_[stripe_of(request.job.job_id)];
   {
     common::MutexLock lock(stripe.mutex);
+    // atomic: acquire — pairs with shutdown()'s release store
     if (shutdown_.load(std::memory_order_acquire) ||
         stripe.items.size() >= stripe_capacity_) {
       return false;
@@ -62,6 +63,7 @@ bool InferenceRequestQueue::try_push(InferenceRequest request) {
     stripe.items.push_back(std::move(request));
     // size_ changes only alongside its item, under the item's stripe lock,
     // so the aggregate can never go negative-transient (underflow).
+    // atomic: release — pairs with the acquire loads in wake_ready()/size()
     size_.fetch_add(1, std::memory_order_release);
   }
   notify_not_empty();
@@ -72,12 +74,15 @@ bool InferenceRequestQueue::push(InferenceRequest request) {
   Stripe& stripe = *stripes_[stripe_of(request.job.job_id)];
   {
     common::MutexLock lock(stripe.mutex);
+    // atomic: acquire — pairs with shutdown()'s release store
     while (!shutdown_.load(std::memory_order_acquire) &&
            stripe.items.size() >= stripe_capacity_) {
       stripe.not_full.wait(lock);
     }
+    // atomic: acquire — pairs with shutdown()'s release store
     if (shutdown_.load(std::memory_order_acquire)) return false;
     stripe.items.push_back(std::move(request));
+    // atomic: release — pairs with the acquire loads in wake_ready()/size()
     size_.fetch_add(1, std::memory_order_release);
   }
   notify_not_empty();
@@ -87,6 +92,8 @@ bool InferenceRequestQueue::push(InferenceRequest request) {
 std::size_t InferenceRequestQueue::sweep(std::vector<InferenceRequest>& out,
                                          std::size_t max_batch) {
   const std::size_t n = stripes_.size();
+  // atomic: relaxed — round-robin start cursor; the bump publishes no
+  // data, any interleaving just picks a different scan starting point
   const std::size_t start =
       n == 1 ? 0 : cursor_.fetch_add(1, std::memory_order_relaxed) % n;
   std::size_t popped = 0;
@@ -98,6 +105,8 @@ std::size_t InferenceRequestQueue::sweep(std::vector<InferenceRequest>& out,
       while (popped < max_batch && !stripe.items.empty()) {
         out.push_back(std::move(stripe.items.front()));
         stripe.items.pop_front();
+        // atomic: release — keeps size_ publication symmetric with the
+        // producers; pairs with the acquire loads in wake_ready()/size()
         size_.fetch_sub(1, std::memory_order_release);
         ++popped;
         ++from_stripe;
@@ -118,6 +127,8 @@ std::optional<InferenceRequest> InferenceRequestQueue::pop(
 // The idle consumer's wake predicate: something to pop, or nothing ever
 // will be. Reads only atomics, so no capability is required.
 bool InferenceRequestQueue::wake_ready() const {
+  // atomic: acquire — pairs with shutdown()'s release store and the
+  // release size_ updates; seeing either implies their prior writes
   return shutdown_.load(std::memory_order_acquire) ||
          size_.load(std::memory_order_acquire) > 0;
 }
@@ -135,6 +146,8 @@ std::size_t InferenceRequestQueue::pop_batch(
     bool timed_out = false;
     {
       common::MutexLock gate(gate_mutex_);
+      // atomic: acquire — shut-down-and-drained exit test; pairs with
+      // shutdown()'s release store and the release size_ updates
       if (shutdown_.load(std::memory_order_acquire) &&
           size_.load(std::memory_order_acquire) == 0) {
         return 0;
@@ -163,6 +176,8 @@ std::size_t InferenceRequestQueue::pop_batch(
     const std::size_t popped = sweep(out, max_batch);
     if (popped > 0) return popped;
     common::MutexLock gate(gate_mutex_);
+    // atomic: acquire — shut-down-and-drained exit test; pairs with
+    // shutdown()'s release store and the release size_ updates
     if (shutdown_.load(std::memory_order_acquire) &&
         size_.load(std::memory_order_acquire) == 0) {
       return 0;
@@ -172,6 +187,8 @@ std::size_t InferenceRequestQueue::pop_batch(
 }
 
 void InferenceRequestQueue::shutdown() {
+  // atomic: release — pairs with the acquire loads in try_push/push/
+  // wake_ready/shut_down; orders all pre-shutdown writes before the flag
   shutdown_.store(true, std::memory_order_release);
   for (auto& stripe : stripes_) {
     // Empty critical section: a producer between its shutdown check and
@@ -185,10 +202,13 @@ void InferenceRequestQueue::shutdown() {
 }
 
 bool InferenceRequestQueue::shut_down() const {
+  // atomic: acquire — pairs with shutdown()'s release store
   return shutdown_.load(std::memory_order_acquire);
 }
 
 std::size_t InferenceRequestQueue::size() const {
+  // atomic: acquire — pairs with the release size_ updates in
+  // try_push/push/sweep
   return size_.load(std::memory_order_acquire);
 }
 

@@ -87,9 +87,13 @@ bool PlacementService::enqueue(const trace::Job& job) {
     request.virtual_enqueued_at = config_.clock->now();
   }
   if (!shard.queue.try_push(std::move(request))) {
+    // atomic: relaxed — stats counter; publishes no data, only summed
+    // by stats()
     shard.dropped.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // atomic: relaxed — stats counter; publishes no data, only summed
+  // by stats()
   shard.enqueued.fetch_add(1, std::memory_order_relaxed);
   if (virtual_time() && config_.virtual_flush_deadline > 0.0 &&
       !config_.drain_on_lookup) {
@@ -152,6 +156,8 @@ std::optional<int> PlacementService::wait_for_virtual(std::uint64_t job_id) {
   }
   if (hint) {
     // Ready at or before the lookup: consumed on time.
+    // atomic: relaxed — stats counters; publish no data, only summed by
+    // stats()
     shard.hits.fetch_add(1, std::memory_order_relaxed);
     shard.on_time.fetch_add(1, std::memory_order_relaxed);
     return hint;
@@ -171,6 +177,8 @@ std::optional<int> PlacementService::wait_for_virtual(std::uint64_t job_id) {
         shard.virtual_latency_total_s += ready.virtual_latency;
         shard.virtual_latency_max_s =
             std::max(shard.virtual_latency_max_s, ready.virtual_latency);
+        // atomic: relaxed — stats counters; publish no data, only
+        // summed by stats()
         shard.hits.fetch_add(1, std::memory_order_relaxed);
         shard.on_time.fetch_add(1, std::memory_order_relaxed);
         return ready.category;
@@ -180,6 +188,8 @@ std::optional<int> PlacementService::wait_for_virtual(std::uint64_t job_id) {
       it->second.missed = true;
     }
   }
+  // atomic: relaxed — stats counter; publishes no data, only summed
+  // by stats()
   shard.misses.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
@@ -202,8 +212,10 @@ std::optional<int> PlacementService::wait_for_on(Shard& shard,
       if (it != shard.results.end()) hint = it->second;
     }
     if (hint) {
+      // atomic: relaxed — stats counter; only summed by stats()
       shard.hits.fetch_add(1, std::memory_order_relaxed);
     } else {
+      // atomic: relaxed — stats counter; only summed by stats()
       shard.misses.fetch_add(1, std::memory_order_relaxed);
     }
     return hint;
@@ -228,9 +240,11 @@ std::optional<int> PlacementService::wait_for_on(Shard& shard,
   }
   if (it != shard.results.end()) {
     const int category = it->second;
+    // atomic: relaxed — stats counter; only summed by stats()
     shard.hits.fetch_add(1, std::memory_order_relaxed);
     return category;
   }
+  // atomic: relaxed — stats counter; only summed by stats()
   shard.misses.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
@@ -271,10 +285,12 @@ std::optional<int> PlacementService::wait_for(std::uint64_t job_id) {
       owner = scan();
     }
     if (owner) {
+      // atomic: relaxed — stats counter; only summed by stats()
       owner->hits.fetch_add(1, std::memory_order_relaxed);
       common::MutexLock lock(owner->results_mutex);
       return owner->results.at(job_id);
     }
+    // atomic: relaxed — stats counter; only summed by stats()
     shards_.front()->misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
@@ -284,6 +300,7 @@ std::optional<int> PlacementService::wait_for(std::uint64_t job_id) {
       std::chrono::steady_clock::now() + config_.request_deadline;
   for (;;) {
     if (Shard* owner = scan()) {
+      // atomic: relaxed — stats counter; only summed by stats()
       owner->hits.fetch_add(1, std::memory_order_relaxed);
       common::MutexLock lock(owner->results_mutex);
       return owner->results.at(job_id);
@@ -293,6 +310,7 @@ std::optional<int> PlacementService::wait_for(std::uint64_t job_id) {
     // lint:allow(wall-clock) threaded-mode poll backoff, see above
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  // atomic: relaxed — stats counter; only summed by stats()
   shards_.front()->misses.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
@@ -338,6 +356,7 @@ void PlacementService::deliver_virtual(std::uint64_t job_id) {
     shard.in_flight.erase(it);
   }
   publish_virtual(shard, job_id, hint.category, hint.virtual_latency);
+  // atomic: relaxed — late-hint stats counter; only summed by stats()
   if (hint.missed) shard.late.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -431,6 +450,9 @@ void PlacementService::shutdown() {
 ServingStats PlacementService::shard_stats(std::size_t shard_index) const {
   const Shard& shard = *shards_.at(shard_index);
   ServingStats stats;
+  // atomic: relaxed — stats counter reads; each counter is independently
+  // monotonic and no cross-counter ordering is implied (exact totals need
+  // the workers quiesced, which callers arrange via drain/shutdown)
   stats.enqueued = shard.enqueued.load(std::memory_order_relaxed);
   stats.dropped = shard.dropped.load(std::memory_order_relaxed);
   stats.hits = shard.hits.load(std::memory_order_relaxed);
@@ -473,6 +495,15 @@ ServingStats PlacementService::stats() const {
         std::max(total.virtual_latency_max_s, s.virtual_latency_max_s);
   }
   return total;
+}
+
+sim::HintTimeliness PlacementService::hint_timeliness() const {
+  const ServingStats total = stats();
+  sim::HintTimeliness timeliness;
+  timeliness.on_time = total.on_time;
+  timeliness.late = total.late;
+  timeliness.dropped = total.dropped;
+  return timeliness;
 }
 
 std::size_t PlacementService::pending_requests() const {

@@ -76,6 +76,7 @@
 #include "serving/batcher.h"
 #include "serving/inference_queue.h"
 #include "serving/latency_model.h"
+#include "sim/hint_service.h"
 #include "sim/sim_clock.h"
 
 namespace byom::serving {
@@ -177,7 +178,10 @@ struct ServingStats {
   }
 };
 
-class PlacementService {
+// Implements sim::HintService so the event engine can submit requests and
+// fold timeliness counters without naming any serving type (the layer
+// contract puts serving above sim; see sim/hint_service.h).
+class PlacementService : public sim::HintService {
  public:
   // The registry maps each job to its workload's ModelBackend
   // (core/model_registry.h). Hot-swaps are honored mid-run: each batch
@@ -186,7 +190,7 @@ class PlacementService {
   explicit PlacementService(
       std::shared_ptr<const core::ModelRegistry> registry,
       const PlacementServiceConfig& config = {});
-  ~PlacementService();
+  ~PlacementService() override;
 
   PlacementService(const PlacementService&) = delete;
   PlacementService& operator=(const PlacementService&) = delete;
@@ -194,7 +198,7 @@ class PlacementService {
   // Requests a category hint for `job`, routed to its job-key shard.
   // Non-blocking: false means the request was dropped (shard queue full or
   // service shut down) and the consumer will fall back at decision time.
-  bool enqueue(const trace::Job& job);
+  bool enqueue(const trace::Job& job) override;
   // Convenience for replay-style consumers that know the upcoming jobs.
   // Returns the number of requests accepted.
   std::size_t enqueue_all(const std::vector<trace::Job>& jobs);
@@ -230,6 +234,9 @@ class PlacementService {
   ServingStats stats() const;
   // One shard's counters — tests use this to assert routing and balance.
   ServingStats shard_stats(std::size_t shard_index) const;
+  // The sim-layer slice of stats(): hint-timeliness counters the event
+  // engine folds into SimResult (sim/hint_service.h).
+  sim::HintTimeliness hint_timeliness() const override;
 
   bool deterministic() const { return config_.num_threads == 0; }
   bool virtual_time() const { return config_.clock != nullptr; }

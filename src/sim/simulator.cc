@@ -4,7 +4,6 @@
 #include <queue>
 
 #include "core/staleness.h"
-#include "serving/placement_service.h"
 
 namespace byom::sim {
 
@@ -167,10 +166,10 @@ SimResult simulate(const trace::Trace& trace, policy::PlacementPolicy& policy,
   clock->run_all();
 
   if (config.hint_service) {
-    const serving::ServingStats stats = config.hint_service->stats();
-    result.hints_on_time = stats.on_time;
-    result.hints_late = stats.late;
-    result.hints_dropped = stats.dropped;
+    const HintTimeliness timeliness = config.hint_service->hint_timeliness();
+    result.hints_on_time = timeliness.on_time;
+    result.hints_late = timeliness.late;
+    result.hints_dropped = timeliness.dropped;
   }
   return result;
 }

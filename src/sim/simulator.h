@@ -21,16 +21,13 @@
 
 #include "cost/cost_model.h"
 #include "policy/policy.h"
+#include "sim/hint_service.h"
 #include "sim/sim_clock.h"
 #include "trace/trace.h"
 
 namespace byom::core {
 class StalenessSchedule;  // core/staleness.h
 }  // namespace byom::core
-
-namespace byom::serving {
-class PlacementService;  // serving/placement_service.h
-}  // namespace byom::serving
 
 namespace byom::sim {
 
@@ -46,8 +43,10 @@ struct SimConfig {
   // Latency-aware hint pipeline: when set, the engine submits each job's
   // inference request at its arrival event (the online submit path) and,
   // after the run, folds the service's timeliness counters into SimResult.
-  // The service must share `clock` (MethodFactory::make_context wires this).
-  std::shared_ptr<serving::PlacementService> hint_service;
+  // Typed as the sim-layer HintService interface (sim/hint_service.h);
+  // the concrete serving::PlacementService must share `clock`
+  // (MethodFactory::make_context wires this).
+  std::shared_ptr<HintService> hint_service;
   // Retraining cadence: the engine schedules one retrain event per period
   // on the timeline (SimClock::kRetrainPriority) and counts them.
   std::shared_ptr<core::StalenessSchedule> staleness;

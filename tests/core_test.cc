@@ -6,6 +6,7 @@
 
 #include "common/units.h"
 #include "core/byom.h"
+#include "policy/byom_policy.h"
 #include "core/category_model.h"
 #include "core/labeler.h"
 #include "trace/generator.h"
@@ -294,7 +295,7 @@ TEST(ByomPolicy, UsesWorkloadModelAndFallback) {
   registry->set_default_model(model);
   policy::AdaptiveConfig cfg;
   cfg.num_categories = model->num_categories();
-  auto policy = make_byom_policy(registry, cfg);
+  auto policy = policy::make_byom_policy(registry, cfg);
   EXPECT_EQ(policy->name(), "BYOM");
   // Drive a few decisions; jobs with a model follow the model's category.
   policy::StorageView view;
@@ -308,7 +309,7 @@ TEST(ByomPolicy, MissingModelFallsBackToHash) {
   auto registry = std::make_shared<ModelRegistry>();  // no models at all
   policy::AdaptiveConfig cfg;
   cfg.num_categories = 15;
-  auto policy = make_byom_policy(registry, cfg);
+  auto policy = policy::make_byom_policy(registry, cfg);
   trace::Job j;
   j.job_key = "some/job";
   j.arrival_time = 0.0;
@@ -356,14 +357,14 @@ TEST(ByomPolicyBatched, MatchesUnbatchedDecisions) {
       CategoryModel::train(split.train.jobs(), small_model_config()));
   auto registry = std::make_shared<ModelRegistry>();
   registry->set_default_model(model);
-  ByomPolicyOptions batched_options;
+  policy::ByomPolicyOptions batched_options;
   batched_options.adaptive.num_categories = model->num_categories();
-  batched_options.hints = HintSource::kPrecomputed;
+  batched_options.hints = policy::HintSource::kPrecomputed;
   batched_options.precompute_jobs = &split.test.jobs();
-  auto batched = make_byom_policy(registry, batched_options);
+  auto batched = policy::make_byom_policy(registry, batched_options);
   policy::AdaptiveConfig cfg;
   cfg.num_categories = model->num_categories();
-  auto unbatched = make_byom_policy(registry, cfg);
+  auto unbatched = policy::make_byom_policy(registry, cfg);
   policy::StorageView view;
   view.ssd_capacity_bytes = 100 * kGiB;
   for (const auto& j : split.test.jobs()) {
@@ -494,14 +495,14 @@ TEST(ByomPolicyOptions, PrecomputedMatchesSyncDecisions) {
   auto registry = std::make_shared<ModelRegistry>();
   registry->set_default_model(model);
 
-  ByomPolicyOptions sync_options;
+  policy::ByomPolicyOptions sync_options;
   sync_options.adaptive.num_categories = model->num_categories();
-  auto sync = make_byom_policy(registry, sync_options);
+  auto sync = policy::make_byom_policy(registry, sync_options);
 
-  ByomPolicyOptions batched_options = sync_options;
-  batched_options.hints = HintSource::kPrecomputed;
+  policy::ByomPolicyOptions batched_options = sync_options;
+  batched_options.hints = policy::HintSource::kPrecomputed;
   batched_options.precompute_jobs = &split.test.jobs();
-  auto batched = make_byom_policy(registry, batched_options);
+  auto batched = policy::make_byom_policy(registry, batched_options);
 
   policy::StorageView view;
   view.ssd_capacity_bytes = 100 * kGiB;
@@ -514,12 +515,12 @@ TEST(ByomPolicyOptions, PrecomputedMatchesSyncDecisions) {
 
 TEST(ByomPolicyOptions, CustomProviderFrontsTheChain) {
   auto registry = std::make_shared<ModelRegistry>();  // no models
-  ByomPolicyOptions options;
-  options.hints = HintSource::kCustom;
+  policy::ByomPolicyOptions options;
+  options.hints = policy::HintSource::kCustom;
   options.custom_provider = make_function_provider(
       "const", [](const trace::Job&) { return std::optional<int>(9); });
   options.name = "custom";
-  auto policy = make_byom_policy(registry, options);
+  auto policy = policy::make_byom_policy(registry, options);
   EXPECT_EQ(policy->name(), "custom");
   trace::Job j;
   j.job_key = "some/job";
@@ -533,14 +534,14 @@ TEST(ByomPolicyOptions, CustomProviderFrontsTheChain) {
 
 TEST(ByomPolicyOptions, InvalidSelectionsThrow) {
   auto registry = std::make_shared<ModelRegistry>();
-  ByomPolicyOptions precomputed;
-  precomputed.hints = HintSource::kPrecomputed;  // no precompute_jobs
-  EXPECT_THROW(make_byom_policy(registry, precomputed),
+  policy::ByomPolicyOptions precomputed;
+  precomputed.hints = policy::HintSource::kPrecomputed;  // no precompute_jobs
+  EXPECT_THROW(policy::make_byom_policy(registry, precomputed),
                std::invalid_argument);
-  ByomPolicyOptions custom;
-  custom.hints = HintSource::kCustom;  // no custom_provider
-  EXPECT_THROW(make_byom_policy(registry, custom), std::invalid_argument);
-  EXPECT_THROW(make_byom_policy(nullptr, ByomPolicyOptions{}),
+  policy::ByomPolicyOptions custom;
+  custom.hints = policy::HintSource::kCustom;  // no custom_provider
+  EXPECT_THROW(policy::make_byom_policy(registry, custom), std::invalid_argument);
+  EXPECT_THROW(policy::make_byom_policy(nullptr, policy::ByomPolicyOptions{}),
                std::invalid_argument);
 }
 

@@ -5,6 +5,7 @@
 #include "features/feature_extractor.h"
 #include "features/history.h"
 #include "features/tokenizer.h"
+#include "ml/dataset_builder.h"
 #include "trace/generator.h"
 
 namespace byom::features {
@@ -268,7 +269,7 @@ TEST(FeatureExtractor, MakeDatasetOverTrace) {
   cfg.seed = 42;
   const auto t = trace::generate_cluster_trace(cfg);
   const FeatureExtractor fx;
-  const auto data = fx.make_dataset(t.jobs());
+  const auto data = ml::make_dataset(fx, t.jobs());
   EXPECT_EQ(data.num_rows(), t.size());
   EXPECT_EQ(data.num_features(), fx.num_features());
 }

@@ -10,7 +10,7 @@
 #include "framework/pipeline_runner.h"
 #include "framework/shuffle.h"
 #include "framework/thread_pool.h"
-#include "sim/experiment_runner.h"
+#include "harness/experiment_runner.h"
 #include "trace/generator.h"
 
 namespace byom::framework {

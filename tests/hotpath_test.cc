@@ -21,7 +21,7 @@
 #include "core/model_registry.h"
 #include "features/feature_extractor.h"
 #include "features/feature_matrix.h"
-#include "sim/experiment.h"
+#include "harness/experiment.h"
 #include "sim/sim_clock.h"
 #include "sim/simulator.h"
 #include "trace/generator.h"
@@ -33,6 +33,8 @@ namespace {
 std::atomic<std::uint64_t> g_allocations{0};
 
 void* counted_alloc(std::size_t size) {
+  // atomic: relaxed — allocation tally; sampled single-threaded, no
+  // ordering needed
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   if (size == 0) size = 1;
   if (void* p = std::malloc(size)) return p;
@@ -48,6 +50,7 @@ void* operator new[](std::size_t size) { return counted_alloc(size); }
 // set routes a default-new allocation into our free() — flagged as an
 // alloc-dealloc mismatch by the CI asan-ubsan job.
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  // atomic: relaxed — allocation tally; sampled single-threaded
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   if (size == 0) size = 1;
   return std::malloc(size);
@@ -70,6 +73,7 @@ namespace byom {
 namespace {
 
 std::uint64_t allocations() {
+  // atomic: relaxed — tally read on the sampling thread itself
   return g_allocations.load(std::memory_order_relaxed);
 }
 

@@ -6,8 +6,9 @@
 #include <memory>
 
 #include "core/byom.h"
+#include "policy/byom_policy.h"
 #include "policy/first_fit.h"
-#include "sim/experiment.h"
+#include "harness/experiment.h"
 #include "storage/cache_server.h"
 #include "trace/generator.h"
 
@@ -144,7 +145,7 @@ TEST(EndToEnd, ByomRegistryPolicyMatchesAdaptiveRanking) {
   auto registry = std::make_shared<core::ModelRegistry>();
   registry->set_default_model(model);
   policy::AdaptiveConfig cfg = f.factory->adaptive_config();
-  auto byom_policy = core::make_byom_policy(registry, cfg);
+  auto byom_policy = policy::make_byom_policy(registry, cfg);
 
   const auto cap = sim::quota_capacity(f.split.test, 0.01);
   sim::SimConfig sim_cfg;

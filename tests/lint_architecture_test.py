@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for tools/lint_architecture.py.
+
+Each rule has a mini-tree fixture under tests/lint_fixtures/arch/ with its
+own layers.json: a violating tree per rule, a clean tree that must pass,
+and a malformed contract that must be rejected with exit 2 (not reported
+as a lint finding). The suite also asserts the real tree conforms to the
+committed contract (tools/layers.json) — the same gate CI enforces.
+
+Run directly (python3 tests/lint_architecture_test.py) or through ctest
+(lint_architecture_test).
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINTER = os.path.join(REPO_ROOT, "tools", "lint_architecture.py")
+ARCH_FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures", "arch")
+
+ALL_RULES = [
+    "layer-order",
+    "unknown-module",
+    "include-cycle",
+    "pragma-once",
+    "banned-header",
+    "cc-include",
+]
+
+
+def run_analyzer(*args):
+    proc = subprocess.run(
+        [sys.executable, LINTER, *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def run_on_fixture(name, *extra):
+    root = os.path.join(ARCH_FIXTURES, name)
+    return run_analyzer("--root", root,
+                        "--contract", os.path.join(root, "layers.json"),
+                        *extra, os.path.join(root, "src"))
+
+
+class ListRulesTest(unittest.TestCase):
+    def test_lists_every_rule(self):
+        code, out, _ = run_analyzer("--list-rules")
+        self.assertEqual(code, 0)
+        for rule in ALL_RULES:
+            self.assertIn(f"{rule}:", out)
+
+
+class FiringFixtureTest(unittest.TestCase):
+    """One violating mini-tree per rule: the rule must fire on it."""
+
+    def assert_fires(self, name, rule, needle):
+        code, out, _ = run_on_fixture(name)
+        self.assertEqual(code, 1, f"expected a violation in {name}:\n{out}")
+        self.assertIn(f"[{rule}]", out)
+        self.assertIn(needle, out)
+
+    def test_layer_violation(self):
+        self.assert_fires("layer_violation", "layer-order",
+                          "must not include 'top/high.h'")
+
+    def test_include_cycle(self):
+        self.assert_fires("cycle", "include-cycle",
+                          "src/base/a.h -> src/base/b.h -> src/base/a.h")
+
+    def test_banned_header(self):
+        self.assert_fires("banned_header", "banned-header",
+                          "<regex> is banned here")
+
+    def test_missing_pragma_once(self):
+        self.assert_fires("missing_pragma", "pragma-once",
+                          "missing #pragma once")
+
+    def test_cc_include(self):
+        self.assert_fires("cc_include", "cc-include",
+                          "includes implementation file 'base/impl.cc'")
+
+
+class CleanFixtureTest(unittest.TestCase):
+    def test_clean_tree_passes(self):
+        code, out, _ = run_on_fixture("clean")
+        self.assertEqual(code, 0, f"clean fixture must pass:\n{out}")
+        self.assertEqual(out, "")
+
+    def test_graph_output(self):
+        code, out, _ = run_on_fixture("clean", "--graph")
+        self.assertEqual(code, 0)
+        self.assertIn("module dependency graph", out)
+        self.assertIn("top -> base", out)
+
+
+class MalformedContractTest(unittest.TestCase):
+    def test_duplicate_module_rejected(self):
+        code, out, err = run_on_fixture("malformed")
+        self.assertEqual(code, 2, "a malformed contract must exit 2")
+        self.assertIn("appears in more than one layer", err)
+        self.assertEqual(out, "")
+
+    def test_missing_contract_rejected(self):
+        root = os.path.join(ARCH_FIXTURES, "clean")
+        code, _, err = run_analyzer(
+            "--root", root,
+            "--contract", os.path.join(root, "no_such_contract.json"),
+            os.path.join(root, "src"))
+        self.assertEqual(code, 2)
+        self.assertIn("cannot read contract", err)
+
+
+class SourceTreeTest(unittest.TestCase):
+    """The real tree conforms to the committed contract — CI's gate."""
+
+    def test_tree_conforms_to_contract(self):
+        code, out, _ = run_analyzer("src", "bench", "tests", "examples")
+        self.assertEqual(code, 0,
+                         f"tree must satisfy tools/layers.json:\n{out}")
+
+    def test_observed_graph_names_the_inversions(self):
+        # The PR 9 dependency inversions hold: sim depends on no higher
+        # module, and serving (which implements sim::HintService) may
+        # depend on sim.
+        code, out, _ = run_analyzer("--graph", "src")
+        self.assertEqual(code, 0)
+        for line in out.splitlines():
+            if line.strip().startswith("sim ->"):
+                for banned in ("serving", "harness", "bench"):
+                    self.assertNotIn(banned, line)
+
+    def test_contract_is_the_committed_one(self):
+        # Guard against the default contract drifting away from the file
+        # CI pins: the analyzer's default must be tools/layers.json.
+        code, out, _ = run_analyzer(
+            "--contract", os.path.join(REPO_ROOT, "tools", "layers.json"),
+            "src")
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

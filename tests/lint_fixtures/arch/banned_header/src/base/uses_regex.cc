@@ -1,0 +1,4 @@
+// Fixture: <regex> is banned by the fixture contract.
+#include <regex>
+
+bool matches(const char*) { return false; }

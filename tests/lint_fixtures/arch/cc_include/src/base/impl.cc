@@ -1,0 +1,4 @@
+// Fixture: an implementation file someone tries to include.
+namespace fixture {
+int impl() { return 0; }
+}

@@ -1,0 +1,2 @@
+// Fixture: includes a .cc file instead of a header.
+#include "base/impl.cc"

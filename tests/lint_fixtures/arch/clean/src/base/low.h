@@ -1,0 +1,6 @@
+// Fixture: clean base-layer header.
+#pragma once
+
+namespace fixture {
+inline int low() { return 0; }
+}

@@ -1,0 +1,8 @@
+// Fixture: top may include down into base.
+#pragma once
+
+#include "base/low.h"
+
+namespace fixture {
+inline int high() { return low(); }
+}

@@ -1,0 +1,4 @@
+// Fixture: half of an include cycle.
+#pragma once
+
+#include "base/b.h"

@@ -1,0 +1,4 @@
+// Fixture: the other half of the include cycle.
+#pragma once
+
+#include "base/a.h"

@@ -1,0 +1,8 @@
+// Fixture: base (layer 0) must not reach up into top (layer 1).
+#pragma once
+
+#include "top/high.h"
+
+namespace fixture {
+inline int low() { return high(); }
+}

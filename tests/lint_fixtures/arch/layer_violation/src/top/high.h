@@ -1,0 +1,6 @@
+// Fixture: the top-layer header.
+#pragma once
+
+namespace fixture {
+inline int high() { return 1; }
+}

@@ -1,0 +1,2 @@
+// Fixture: never reached; the contract itself is rejected.
+#pragma once

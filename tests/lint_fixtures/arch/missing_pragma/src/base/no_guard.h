@@ -1,0 +1,5 @@
+// Fixture: no #pragma once guard.
+
+namespace fixture {
+inline int unguarded() { return 0; }
+}

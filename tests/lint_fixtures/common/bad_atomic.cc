@@ -1,0 +1,18 @@
+// Fixture: explicit memory_order without an `// atomic:` tag fires.
+#include <atomic>
+#include <cstdint>
+
+namespace {
+
+std::atomic<std::uint64_t> counter{0};
+
+void untagged_bump() {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t untagged_read() {
+  // A plain comment above is not a tag.
+  return counter.load(std::memory_order_acquire);
+}
+
+}  // namespace

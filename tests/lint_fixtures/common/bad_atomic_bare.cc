@@ -1,0 +1,18 @@
+// Fixture: a bare `// atomic:` tag with no reason is itself a violation.
+#include <atomic>
+#include <cstdint>
+
+namespace {
+
+std::atomic<std::uint64_t> counter{0};
+
+void bare_same_line() {
+  counter.fetch_add(1, std::memory_order_relaxed);  // atomic:
+}
+
+void bare_block_above() {
+  // atomic:
+  counter.store(0, std::memory_order_release);
+}
+
+}  // namespace

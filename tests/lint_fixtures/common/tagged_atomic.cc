@@ -1,0 +1,34 @@
+// Fixture: every accepted `// atomic:` tag placement passes.
+#include <atomic>
+#include <cstdint>
+
+namespace {
+
+std::atomic<std::uint64_t> counter{0};
+std::atomic<bool> flag{false};
+
+void same_line() {
+  counter.fetch_add(1, std::memory_order_relaxed);  // atomic: stats tally
+}
+
+void block_above() {
+  // atomic: release — pairs with the acquire load in block_covers_run
+  flag.store(true, std::memory_order_release);
+}
+
+void wrapped_call() {
+  // The tag rides on an earlier line of the same wrapped statement.
+  counter.fetch_add(  // atomic: relaxed — stats tally, summed later
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t block_covers_run() {
+  // atomic: acquire — pairs with block_above's release store; one tag
+  // block covers the whole contiguous run of atomic statements below
+  const bool ready = flag.load(std::memory_order_acquire);
+  const std::uint64_t a = counter.load(std::memory_order_relaxed);
+  const std::uint64_t b = counter.load(std::memory_order_relaxed);
+  return ready ? a : b;
+}
+
+}  // namespace

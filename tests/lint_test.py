@@ -26,6 +26,7 @@ ALL_RULES = [
     "locale-dependent",
     "guarded-mutex",
     "raw-mutex",
+    "atomic-order",
 ]
 
 
@@ -94,6 +95,19 @@ class FiringFixtureTest(unittest.TestCase):
         self.assert_fires(fixture("common", "bad_rawmutex.cc"), "raw-mutex",
                           [9, 14])
 
+    def test_atomic_order_untagged(self):
+        self.assert_fires(fixture("common", "bad_atomic.cc"),
+                          "atomic-order", [10, 15])
+
+    def test_atomic_order_bare_tag(self):
+        code, out, _ = run_linter(fixture("common", "bad_atomic_bare.cc"))
+        self.assertEqual(code, 1)
+        self.assertIn("[atomic-order]", out)
+        self.assertIn("tag has no reason", out)
+        for line in (10, 15):
+            self.assertIn(
+                f"{fixture('common', 'bad_atomic_bare.cc')}:{line}:", out)
+
     def test_malformed_tags(self):
         code, out, _ = run_linter(fixture("common", "bad_tag.cc"))
         self.assertEqual(code, 1)
@@ -126,6 +140,11 @@ class PassingFixtureTest(unittest.TestCase):
 
     def test_tagged_raw_mutex(self):
         self.assert_clean(fixture("common", "tagged_rawmutex.cc"))
+
+    def test_tagged_atomic_placements(self):
+        # Same-line, block-above, wrapped-call, and block-covers-run tag
+        # placements all pass.
+        self.assert_clean(fixture("common", "tagged_atomic.cc"))
 
 
 class SourceTreeTest(unittest.TestCase):

@@ -12,7 +12,7 @@
 #include "policy/adaptive.h"
 #include "policy/first_fit.h"
 #include "policy/oracle_replay.h"
-#include "sim/experiment.h"
+#include "harness/experiment.h"
 #include "trace/archetypes.h"
 #include "trace/generator.h"
 

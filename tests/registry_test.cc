@@ -14,7 +14,7 @@
 #include "core/byom.h"
 #include "core/model_backend.h"
 #include "core/model_registry.h"
-#include "sim/experiment.h"
+#include "harness/experiment.h"
 #include "sim/simulator.h"
 #include "trace/generator.h"
 
@@ -189,6 +189,7 @@ TEST(ShardedRegistryThreaded, LookupsRaceRegistrationsSafely) {
       // this reader is first scheduled — a real risk on a loaded
       // single-core CI runner under TSan.
       std::size_t iterations = 0;
+      // atomic: acquire — pairs with the writer's release store below
       while (!writer_done.load(std::memory_order_acquire) ||
              iterations < 64) {
         const auto& job = jobs[i % jobs.size()];
@@ -214,6 +215,7 @@ TEST(ShardedRegistryThreaded, LookupsRaceRegistrationsSafely) {
       }
       registry.set_default_model(fresh);
     }
+    // atomic: release — pairs with the readers' acquire loop above
     writer_done.store(true, std::memory_order_release);
   });
 

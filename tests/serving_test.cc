@@ -14,7 +14,7 @@
 #include "serving/batcher.h"
 #include "serving/inference_queue.h"
 #include "serving/placement_service.h"
-#include "sim/experiment_runner.h"
+#include "harness/experiment_runner.h"
 #include "sim/simulator.h"
 #include "trace/generator.h"
 

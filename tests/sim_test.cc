@@ -8,8 +8,8 @@
 #include "common/units.h"
 #include "policy/first_fit.h"
 #include "policy/policy.h"
-#include "sim/experiment.h"
-#include "sim/experiment_runner.h"
+#include "harness/experiment.h"
+#include "harness/experiment_runner.h"
 #include "sim/metrics.h"
 #include "sim/sim_clock.h"
 #include "sim/simulator.h"

@@ -22,6 +22,12 @@ StalenessConfig config_with(double start, double period, double half_life) {
   return cfg;
 }
 
+// Adapts the simulator's clock to the core-layer TimeFn the stale provider
+// consumes (core never names sim::SimClock; see tools/layers.json).
+TimeFn clock_fn(std::shared_ptr<const sim::SimClock> clock) {
+  return [clock = std::move(clock)] { return clock->now(); };
+}
+
 trace::Job job_with_id(std::uint64_t id) {
   trace::Job j;
   j.job_id = id;
@@ -73,7 +79,7 @@ TEST(StaleProvider, FreshModelPassesHintsThrough) {
       std::make_shared<StalenessSchedule>(config_with(0.0, 0.0, 3600.0));
   auto inner = make_function_provider(
       "const", [](const trace::Job&) { return std::optional<int>(7); });
-  auto provider = make_stale_provider(inner, schedule, clock);
+  auto provider = make_stale_provider(inner, schedule, clock_fn(clock));
   for (std::uint64_t id = 0; id < 50; ++id) {
     EXPECT_EQ(provider->category(job_with_id(id)), 7);
   }
@@ -86,7 +92,7 @@ TEST(StaleProvider, DeclinedHintsPassThroughUntouched) {
       std::make_shared<StalenessSchedule>(config_with(0.0, 0.0, 3600.0));
   auto inner = make_function_provider(
       "decline", [](const trace::Job&) { return std::optional<int>(); });
-  auto provider = make_stale_provider(inner, schedule, clock);
+  auto provider = make_stale_provider(inner, schedule, clock_fn(clock));
   EXPECT_FALSE(provider->category(job_with_id(1)).has_value());
 }
 
@@ -101,7 +107,7 @@ TEST(StaleProvider, CorruptedSetsNestAsAgeGrows) {
   const auto corrupted_at = [&](double age) {
     auto clock = std::make_shared<sim::SimClock>();
     clock->advance_to(age);
-    auto provider = make_stale_provider(inner, schedule, clock);
+    auto provider = make_stale_provider(inner, schedule, clock_fn(clock));
     std::set<std::uint64_t> ids;
     for (std::uint64_t id = 0; id < 500; ++id) {
       if (provider->category(job_with_id(id)) != 7) ids.insert(id);
@@ -119,7 +125,7 @@ TEST(StaleProvider, CorruptedSetsNestAsAgeGrows) {
   // Corrupted hints land in the hash fallback's range [1, N-1].
   auto clock = std::make_shared<sim::SimClock>();
   clock->advance_to(1e9);
-  auto provider = make_stale_provider(inner, schedule, clock);
+  auto provider = make_stale_provider(inner, schedule, clock_fn(clock));
   for (std::uint64_t id = 0; id < 100; ++id) {
     const auto c = provider->category(job_with_id(id));
     ASSERT_TRUE(c.has_value());
@@ -133,9 +139,9 @@ TEST(StaleProvider, RejectsNullArguments) {
   auto schedule =
       std::make_shared<StalenessSchedule>(config_with(0.0, 0.0, 3600.0));
   auto inner = make_hash_provider(15);
-  EXPECT_THROW(make_stale_provider(nullptr, schedule, clock),
+  EXPECT_THROW(make_stale_provider(nullptr, schedule, clock_fn(clock)),
                std::invalid_argument);
-  EXPECT_THROW(make_stale_provider(inner, nullptr, clock),
+  EXPECT_THROW(make_stale_provider(inner, nullptr, clock_fn(clock)),
                std::invalid_argument);
   EXPECT_THROW(make_stale_provider(inner, schedule, nullptr),
                std::invalid_argument);

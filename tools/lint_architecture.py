@@ -1,0 +1,413 @@
+#!/usr/bin/env python3
+"""Architecture contract analyzer: the layer DAG as an enforced rule.
+
+The repo's module layering (common at the bottom, the experiment harness
+and the bench/tests/examples consumers at the top) is declared once in
+tools/layers.json and enforced here against the actual `#include` graph.
+A file living in a module of layer i may include project headers only
+from modules of layer j <= i; modules sharing a layer entry are peers.
+Python stdlib only — no third-party dependencies.
+
+Usage:
+    tools/lint_architecture.py [--contract FILE] [--root DIR]
+                               [--graph] [--list-rules] PATH [PATH ...]
+
+PATH arguments may be files or directories (directories are walked for
+C++ sources: .h/.hpp/.cc/.cpp; directories named lint_fixtures, build*
+or .git are skipped). Output is one violation per line in
+`file:line: [rule] message` format. Exit status: 0 clean, 1 when any
+violation is found, 2 when the contract file is missing or malformed.
+
+Suppressing a finding: append a tag comment on the offending include
+line — `// lint:allow(rule-name) reason` — mirroring lint_invariants.py.
+Tags need reasons; bare or unknown tags are themselves violations.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+CPP_EXTENSIONS = {".h", ".hpp", ".cc", ".cpp"}
+HEADER_EXTENSIONS = {".h", ".hpp"}
+SKIP_DIR_RE = re.compile(r"^(lint_fixtures|build.*|\.git|third_party)$")
+
+# Top-level directories that are modules themselves (everything else that
+# participates in the contract lives under src/<module>/).
+TOP_LEVEL_MODULES = {"bench", "tests", "examples"}
+
+# rule name -> (summary, detail) shown by --list-rules.
+RULES = {
+    "layer-order": (
+        "includes must point down (or sideways) in the layer DAG",
+        "a file in a module of layer i may #include project headers only "
+        "from modules of layer j <= i, per the order declared in "
+        "tools/layers.json. Peers in the same layer entry may include "
+        "each other.",
+    ),
+    "unknown-module": (
+        "every project file must belong to a declared module",
+        "a scanned file (or a resolved include target) under src/ or a "
+        "top-level module dir must map to a module listed in the "
+        "contract's `layers`; new modules must be added to "
+        "tools/layers.json deliberately, with a layer assignment.",
+    ),
+    "include-cycle": (
+        "the project include graph must be acyclic",
+        "any cycle among project headers/sources (A includes B includes "
+        "... includes A) is reported once, anchored at the include line "
+        "that closes the cycle.",
+    ),
+    "pragma-once": (
+        "every project header starts with a #pragma once guard",
+        "headers without `#pragma once` break the one-TU-per-header "
+        "self-containment build and invite ODR surprises.",
+    ),
+    "banned-header": (
+        "contract-banned standard headers stay out of their scope",
+        "the contract's `banned_headers` entries ban standard headers "
+        "(e.g. <regex>, <iostream>, <locale> anywhere in src/; <thread>/"
+        "<mutex> outside the concurrency layers) with a recorded reason.",
+    ),
+    "cc-include": (
+        "no #include of .cc/.cpp files",
+        "including an implementation file creates duplicate definitions "
+        "and hides the real dependency; include the header instead.",
+    ),
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^">]+)[">]')
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
+ALLOW_TAG_RE = re.compile(r"lint:allow\(([A-Za-z][A-Za-z0-9-]*)\)(.*)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+class ContractError(Exception):
+    pass
+
+
+def load_contract(path):
+    """Parse layers.json -> (module -> layer index, ordered layers,
+    banned header entries)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as err:
+        raise ContractError(f"cannot read contract {path}: {err}")
+    except ValueError as err:
+        raise ContractError(f"contract {path} is not valid JSON: {err}")
+    if not isinstance(data, dict):
+        raise ContractError(f"contract {path}: top level must be an object")
+    layers = data.get("layers")
+    if not isinstance(layers, list) or not layers:
+        raise ContractError(
+            f"contract {path}: `layers` must be a non-empty list")
+    module_layer = {}
+    for index, entry in enumerate(layers):
+        if not isinstance(entry, list) or not entry:
+            raise ContractError(
+                f"contract {path}: layers[{index}] must be a non-empty "
+                "list of module names")
+        for module in entry:
+            if not isinstance(module, str) or not module:
+                raise ContractError(
+                    f"contract {path}: layers[{index}] has a non-string "
+                    "module name")
+            if module in module_layer:
+                raise ContractError(
+                    f"contract {path}: module '{module}' appears in more "
+                    "than one layer")
+            module_layer[module] = index
+    banned = data.get("banned_headers", [])
+    if not isinstance(banned, list):
+        raise ContractError(
+            f"contract {path}: `banned_headers` must be a list")
+    for index, entry in enumerate(banned):
+        if (not isinstance(entry, dict) or
+                not isinstance(entry.get("header"), str) or
+                not isinstance(entry.get("reason"), str)):
+            raise ContractError(
+                f"contract {path}: banned_headers[{index}] needs string "
+                "`header` and `reason` fields")
+        allow = entry.get("allow_modules", [])
+        if (not isinstance(allow, list) or
+                any(not isinstance(m, str) for m in allow)):
+            raise ContractError(
+                f"contract {path}: banned_headers[{index}].allow_modules "
+                "must be a list of module names")
+        unknown = [m for m in allow if m not in module_layer]
+        if unknown:
+            raise ContractError(
+                f"contract {path}: banned_headers[{index}] allows unknown "
+                f"module(s): {', '.join(unknown)}")
+    return module_layer, layers, banned
+
+
+def module_of(relpath):
+    """Module name for a root-relative path, or None if outside the
+    contract's world (tools/, docs, ...)."""
+    parts = relpath.split("/")
+    if len(parts) >= 2 and parts[0] == "src":
+        return parts[1]
+    if parts[0] in TOP_LEVEL_MODULES:
+        return parts[0]
+    return None
+
+
+def collect_line_allows(line, path, lineno, violations):
+    """Allowed rule names tagged on this raw source line.
+
+    Tags naming rules this linter does not own (lint_invariants.py's
+    namespace) are ignored here — lint_invariants validates those.
+    """
+    allowed = set()
+    for m in ALLOW_TAG_RE.finditer(line):
+        rule, rest = m.group(1), m.group(2)
+        if rule not in RULES:
+            continue
+        if not rest.strip():
+            violations.append(
+                (path, lineno, "lint-tag",
+                 f"lint:allow({rule}) needs a reason after the tag"))
+            continue
+        allowed.add(rule)
+    return allowed
+
+
+def parse_includes(path):
+    """Yield (lineno, is_system, include_path, allowed_rules) for a file.
+
+    Line comments are honored (a commented-out include does not count);
+    block comments spanning an #include directive are not expected in
+    this codebase and are intentionally not modeled.
+    """
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    includes = []
+    for idx, raw in enumerate(text.split("\n")):
+        code = LINE_COMMENT_RE.sub("", raw)
+        m = INCLUDE_RE.match(code)
+        if not m:
+            continue
+        includes.append((idx + 1, m.group(1) == "<", m.group(2), raw))
+    return text, includes
+
+
+def resolve_include(include_path, includer, root):
+    """Resolve a quoted include to a root-relative path, or None if it
+    does not name a project file (system-ish quoted include)."""
+    candidates = [
+        os.path.join(os.path.dirname(includer), include_path),
+        os.path.join(root, "src", include_path),
+        os.path.join(root, include_path),
+    ]
+    for candidate in candidates:
+        if os.path.isfile(candidate):
+            rel = os.path.relpath(os.path.abspath(candidate),
+                                  os.path.abspath(root))
+            return rel.replace(os.sep, "/")
+    return None
+
+
+def gather_files(paths, violations):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for walk_root, dirs, names in os.walk(p):
+                dirs[:] = sorted(d for d in dirs if not SKIP_DIR_RE.match(d))
+                for name in sorted(names):
+                    if os.path.splitext(name)[1] in CPP_EXTENSIONS:
+                        files.append(os.path.join(walk_root, name))
+        elif os.path.isfile(p):
+            files.append(p)
+        else:
+            violations.append((p, 0, "io", "no such file or directory"))
+    return files
+
+
+def layer_name(layers, index):
+    return "/".join(layers[index])
+
+
+def find_cycles(edges):
+    """Canonicalized simple cycles found by DFS over `edges`
+    (node -> [(target, lineno), ...]). Returns a list of node tuples,
+    each rotated so the lexicographically smallest node leads."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in edges}
+    stack = []
+    cycles = []
+    seen = set()
+
+    def visit(node):
+        color[node] = GRAY
+        stack.append(node)
+        for target, _ in edges.get(node, ()):
+            if target not in color:
+                continue
+            if color[target] == GRAY:
+                cycle = tuple(stack[stack.index(target):])
+                pivot = cycle.index(min(cycle))
+                canon = cycle[pivot:] + cycle[:pivot]
+                if canon not in seen:
+                    seen.add(canon)
+                    cycles.append(canon)
+            elif color[target] == WHITE:
+                visit(target)
+        stack.pop()
+        color[node] = BLACK
+
+    sys.setrecursionlimit(max(10000, len(edges) * 4))
+    for node in sorted(edges):
+        if color[node] == WHITE:
+            visit(node)
+    return cycles
+
+
+def main(argv):
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    parser = argparse.ArgumentParser(
+        description="BYOM architecture contract analyzer (layer DAG, "
+        "include hygiene)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze")
+    parser.add_argument("--contract",
+                        default=os.path.join(script_dir, "layers.json"),
+                        help="layer contract JSON (default: tools/"
+                        "layers.json next to this script)")
+    parser.add_argument("--root", default=os.path.dirname(script_dir),
+                        help="repository root that module paths are "
+                        "relative to (default: the script's parent repo)")
+    parser.add_argument("--graph", action="store_true",
+                        help="print the observed module dependency graph "
+                        "and exit (after checking)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, (summary, detail) in RULES.items():
+            print(f"{name}: {summary}")
+            print(f"    {detail}")
+        return 0
+
+    try:
+        module_layer, layers, banned = load_contract(args.contract)
+    except ContractError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    if not args.paths:
+        parser.error("no paths given (or use --list-rules)")
+
+    root = os.path.abspath(args.root)
+    violations = []
+    files = gather_files(args.paths, violations)
+
+    # file (root-relative) -> [(target root-relative, lineno)] for cycles.
+    project_edges = {}
+    # module -> {dependency module} for --graph.
+    module_edges = {}
+
+    for path in files:
+        rel = os.path.relpath(os.path.abspath(path), root).replace(os.sep,
+                                                                   "/")
+        mod = module_of(rel)
+        if mod is not None and mod not in module_layer:
+            violations.append(
+                (path, 0, "unknown-module",
+                 f"module '{mod}' is not declared in the layer contract "
+                 f"({args.contract})"))
+            mod = None
+        text, includes = parse_includes(path)
+        ext = os.path.splitext(path)[1]
+        if (ext in HEADER_EXTENSIONS and
+                not PRAGMA_ONCE_RE.search(text)):
+            violations.append(
+                (path, 1, "pragma-once", "header is missing #pragma once"))
+        edges = project_edges.setdefault(rel, [])
+        for lineno, is_system, inc, raw_line in includes:
+            allowed = collect_line_allows(raw_line, path, lineno, violations)
+            if os.path.splitext(inc)[1] in {".cc", ".cpp"}:
+                if "cc-include" not in allowed:
+                    violations.append(
+                        (path, lineno, "cc-include",
+                         f"includes implementation file '{inc}'"))
+                continue
+            if is_system:
+                base = inc.split("/")[0]
+                for entry in banned:
+                    if entry["header"] != base:
+                        continue
+                    scope = entry.get("scope", "src")
+                    in_scope = (rel.split("/")[0] == scope
+                                if scope else True)
+                    if not in_scope:
+                        continue
+                    if mod in entry.get("allow_modules", []):
+                        continue
+                    if "banned-header" in allowed:
+                        continue
+                    violations.append(
+                        (path, lineno, "banned-header",
+                         f"<{inc}> is banned here: {entry['reason']}"))
+                continue
+            target = resolve_include(inc, path, root)
+            if target is None:
+                continue  # quoted include of a non-project file (gtest).
+            edges.append((target, lineno))
+            target_mod = module_of(target)
+            if target_mod is None:
+                continue
+            if target_mod not in module_layer:
+                if "unknown-module" not in allowed:
+                    violations.append(
+                        (path, lineno, "unknown-module",
+                         f"includes '{inc}' from module '{target_mod}' "
+                         "which is not declared in the layer contract"))
+                continue
+            if mod is None or mod not in module_layer:
+                continue
+            module_edges.setdefault(mod, set()).add(target_mod)
+            if module_layer[target_mod] > module_layer[mod]:
+                if "layer-order" not in allowed:
+                    violations.append(
+                        (path, lineno, "layer-order",
+                         f"module '{mod}' (layer "
+                         f"{layer_name(layers, module_layer[mod])}) must "
+                         f"not include '{inc}' from higher module "
+                         f"'{target_mod}' (layer "
+                         f"{layer_name(layers, module_layer[target_mod])})"))
+
+    for cycle in find_cycles(project_edges):
+        # Anchor at the include inside cycle[0] that points to the next
+        # node along the cycle.
+        anchor_line = 0
+        nxt = cycle[1] if len(cycle) > 1 else cycle[0]
+        for target, lineno in project_edges.get(cycle[0], ()):
+            if target == nxt:
+                anchor_line = lineno
+                break
+        chain = " -> ".join(cycle + (cycle[0],))
+        violations.append(
+            (os.path.join(root, cycle[0]), anchor_line, "include-cycle",
+             f"include cycle: {chain}"))
+
+    for path, lineno, rule, message in violations:
+        print(f"{path}:{lineno}: [{rule}] {message}")
+
+    if args.graph:
+        print("module dependency graph (observed, module -> deps):")
+        for mod in sorted(module_edges):
+            deps = sorted(d for d in module_edges[mod] if d != mod)
+            print(f"  {mod} -> {' '.join(deps) if deps else '(none)'}")
+
+    if violations:
+        print(f"{len(violations)} violation(s) found.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

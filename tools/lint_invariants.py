@@ -87,6 +87,17 @@ RULES = {
         "analysis sees every acquisition. Allow tags honored (the wrapper "
         "itself is tagged).",
     ),
+    "atomic-order": (
+        "every explicit memory_order argument names its pairing",
+        "an explicit std::memory_order_* argument must carry a `// atomic: "
+        "<reason>` comment — on the same line, on an earlier line of the "
+        "same wrapped call, or in the comment block immediately above the "
+        "statement (a tag block above a contiguous run of atomic "
+        "statements covers the whole run) — naming the acquire/release "
+        "pairing it participates in (or why relaxed is safe). A bare "
+        "`// atomic:` tag without a reason is itself a violation. Allow "
+        "tags honored.",
+    ),
 }
 
 ALLOW_TAG_RE = re.compile(r"lint:allow\(([A-Za-z][A-Za-z0-9-]*)\)(.*)")
@@ -110,6 +121,11 @@ HOTPATH_ALLOC_RE = re.compile(
     r"multiset|deque|list)\s*<"
 )
 MUTEX_MEMBER_RE = re.compile(r"\bcommon::Mutex\s+(\w+)\s*;")
+ATOMIC_ORDER_RE = re.compile(
+    r"\bmemory_order_(?:relaxed|acquire|release|acq_rel|seq_cst|consume)\b"
+)
+ATOMIC_TAG_RE = re.compile(r"//\s*atomic:(.*)")
+STATEMENT_END_RE = re.compile(r"[;{}]\s*$")
 
 
 def strip_comments_and_strings(text):
@@ -309,6 +325,53 @@ def hotpath_bodies(raw_lines, stripped_text):
     return spans
 
 
+def atomic_tag_state(raw_line):
+    """'ok' if the line carries `// atomic: <reason>`, 'bare' if the tag
+    has no reason, None if there is no tag."""
+    m = ATOMIC_TAG_RE.search(raw_line)
+    if not m:
+        return None
+    return "ok" if m.group(1).strip() else "bare"
+
+
+def find_atomic_tag(raw_lines, stripped_lines, idx):
+    """Tag state for the memory_order use on 0-based line `idx`.
+
+    Accepted placements: the line itself, an earlier line of the same
+    wrapped statement, or the contiguous comment block immediately above
+    the statement. Returns 'ok', 'bare', or None.
+    """
+    state = atomic_tag_state(raw_lines[idx])
+    if state is not None:
+        return state
+    k = idx - 1
+    in_comment_block = False
+    while k >= 0:
+        raw = raw_lines[k]
+        if is_comment_only(raw):
+            in_comment_block = True
+            state = atomic_tag_state(raw)
+            if state is not None:
+                return state
+            k -= 1
+            continue
+        if in_comment_block:
+            return None  # scanned past the top of the comment block.
+        code = stripped_lines[k].rstrip()
+        if not code.strip():
+            return None  # blank line ends the statement group.
+        state = atomic_tag_state(raw)
+        if state is not None:
+            return state
+        if STATEMENT_END_RE.search(code) and not ATOMIC_ORDER_RE.search(code):
+            # The previous statement ended and was not itself part of this
+            # contiguous run of atomic statements (one tag block above a
+            # run of counter reads/bumps covers the whole run).
+            return None
+        k -= 1
+    return None
+
+
 def is_restricted(path):
     parts = os.path.normpath(path).split(os.sep)
     return any(p in RESTRICTED_COMPONENTS for p in parts)
@@ -369,6 +432,27 @@ def lint_file(path, violations):
                 (path, lineno, "hotpath-alloc",
                  f"allocation in hotpath function: '{m.group(0).strip()}'")
             )
+
+    # atomic-order: every explicit memory_order names its pairing.
+    for idx, line in enumerate(stripped_lines):
+        if not ATOMIC_ORDER_RE.search(line):
+            continue
+        lineno = idx + 1
+        if "atomic-order" in allows.get(lineno, set()):
+            continue
+        state = find_atomic_tag(raw_lines, stripped_lines, idx)
+        if state == "ok":
+            continue
+        if state == "bare":
+            violations.append(
+                (path, lineno, "atomic-order",
+                 "`// atomic:` tag has no reason; name the acquire/release "
+                 "pairing (or why relaxed is safe)"))
+        else:
+            violations.append(
+                (path, lineno, "atomic-order",
+                 "explicit memory_order argument without a `// atomic: "
+                 "<reason>` comment naming its pairing"))
 
     # guarded-mutex: every common::Mutex member must guard something.
     for idx, line in enumerate(stripped_lines):

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Normalize clang-tidy output into line-drift-proof baseline keys.
+
+clang-tidy reports `file:line:col: warning: message [check]`. Line and
+column numbers churn with every unrelated edit, so the committed baseline
+(tools/tidy_baseline.txt) stores location-free keys instead:
+
+    <repo-relative-file>|<check>|<message>
+
+Modes:
+    tidy_normalize.py --normalize < tidy.log
+        Print the sorted, deduplicated keys for a log — the exact content
+        a refreshed baseline should carry.
+    tidy_normalize.py --check --baseline tools/tidy_baseline.txt < tidy.log
+        Fail (exit 1) on any key in the log that the baseline does not
+        carry; warn on stderr about stale baseline entries (in the
+        baseline, no longer in the log) so they get pruned.
+
+Python stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+FINDING_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<severity>warning|error):\s+(?P<message>.*?)\s+"
+    r"\[(?P<check>[A-Za-z0-9.,*-]+)\]\s*$"
+)
+
+
+def normalize_path(path, root):
+    path = path.strip()
+    if os.path.isabs(path):
+        try:
+            path = os.path.relpath(path, root)
+        except ValueError:
+            pass
+    return path.replace(os.sep, "/")
+
+
+def extract_keys(stream, root):
+    """Sorted, deduplicated `file|check|message` keys from a tidy log."""
+    keys = set()
+    for line in stream:
+        m = FINDING_RE.match(line.rstrip("\n"))
+        if not m:
+            continue
+        rel = normalize_path(m.group("file"), root)
+        keys.add(f"{rel}|{m.group('check')}|{m.group('message')}")
+    return sorted(keys)
+
+
+def load_baseline(path):
+    keys = set()
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    keys.add(line)
+    except OSError as err:
+        print(f"error: cannot read baseline {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    return keys
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="clang-tidy baseline normalizer/checker")
+    parser.add_argument("--input", help="tidy log file (default: stdin)")
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repo root absolute paths are made relative to")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--normalize", action="store_true",
+                      help="print normalized keys for the log")
+    mode.add_argument("--check", action="store_true",
+                      help="compare the log against --baseline")
+    parser.add_argument("--baseline",
+                        help="baseline file for --check "
+                        "(tools/tidy_baseline.txt)")
+    args = parser.parse_args(argv)
+
+    if args.input:
+        try:
+            stream = open(args.input, encoding="utf-8", errors="replace")
+        except OSError as err:
+            print(f"error: cannot read {args.input}: {err}", file=sys.stderr)
+            return 2
+    else:
+        stream = sys.stdin
+    with stream:
+        keys = extract_keys(stream, args.root)
+
+    if args.normalize:
+        for key in keys:
+            print(key)
+        return 0
+
+    if not args.baseline:
+        parser.error("--check requires --baseline")
+    baseline = load_baseline(args.baseline)
+    new = [k for k in keys if k not in baseline]
+    stale = sorted(baseline - set(keys))
+    for key in stale:
+        print(f"stale baseline entry (prune it): {key}", file=sys.stderr)
+    if new:
+        print(f"{len(new)} clang-tidy finding(s) not in the baseline:")
+        for key in new:
+            print(f"  {key}")
+        print("Fix the finding, or (deliberately) add its key to "
+              "tools/tidy_baseline.txt.", file=sys.stderr)
+        return 1
+    print(f"clang-tidy clean against baseline "
+          f"({len(keys)} finding(s), all baselined; {len(stale)} stale).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
