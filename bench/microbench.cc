@@ -19,6 +19,7 @@
 #include "harness/experiment_runner.h"
 #include "sim/sim_clock.h"
 #include "storage/dram_cache.h"
+#include "trace/job_stream.h"
 
 using namespace byom;
 
@@ -205,6 +206,60 @@ void BM_SimulatorReplaySynchronous(benchmark::State& state) {
       state.iterations() * cluster.split.test.size()));
 }
 BENCHMARK(BM_SimulatorReplaySynchronous);
+
+// ---- streaming vs materialized: the "materialize, then replay" tax ----
+// Both benches run the same end-to-end pipeline — generate one bench
+// cluster's jobs, replay its test window through the event engine — but the
+// materialized variant builds the whole Trace up front while the streaming
+// one pulls jobs from a GeneratedStream in O(window) memory. Their ratio is
+// stream_vs_materialized_overhead_x in BENCH_microbench.json (CI-gated at
+// 1.10x): what bounded memory costs in throughput.
+
+struct StreamReplaySetup {
+  trace::GeneratorConfig cfg = bench::bench_cluster_config(0, 14, 6.0);
+  double boundary = 3.0 * 86400.0;
+  trace::TraceSummary summary;
+  std::uint64_t cap = 0;
+
+  StreamReplaySetup() {
+    summary = trace::summarize_generated(cfg, boundary);
+    cap = sim::quota_capacity(summary.peak_concurrent_bytes, 0.05);
+  }
+};
+
+StreamReplaySetup& stream_replay_setup() {
+  static StreamReplaySetup s;
+  return s;
+}
+
+void BM_SimulatorReplayMaterialized(benchmark::State& state) {
+  const auto& setup = stream_replay_setup();
+  for (auto _ : state) {
+    const trace::Trace whole = trace::generate_cluster_trace(setup.cfg);
+    const trace::Trace test = whole.slice(setup.boundary, 1e18);
+    policy::FirstFitPolicy policy;
+    benchmark::DoNotOptimize(bench::run_policy(policy, test, setup.cap));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * setup.summary.job_count));
+}
+BENCHMARK(BM_SimulatorReplayMaterialized);
+
+void BM_SimulatorReplayStream(benchmark::State& state) {
+  const auto& setup = stream_replay_setup();
+  sim::SimConfig cfg;
+  cfg.ssd_capacity_bytes = setup.cap;
+  cfg.expected_jobs = setup.summary.job_count;
+  for (auto _ : state) {
+    trace::GeneratedStream generated(setup.cfg);
+    trace::SkipUntilStream test_stream(generated, setup.boundary);
+    policy::FirstFitPolicy policy;
+    benchmark::DoNotOptimize(sim::simulate(test_stream, policy, cfg));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * setup.summary.job_count));
+}
+BENCHMARK(BM_SimulatorReplayStream);
 
 // The full latency-aware serving pipeline under the event engine: arrival
 // events race exponential hint latencies and a daily retrain cadence.

@@ -99,4 +99,37 @@ CategoryProviderPtr make_noisy_provider(CategoryProviderPtr inner,
                                         std::uint64_t seed,
                                         int num_categories);
 
+// Window-swappable hint table: the streaming cell's equivalent of one big
+// precomputed table. The windowing driver precomputes hints for each chunk
+// of jobs and swaps the table in before the chunk is consumed; lookups hit
+// whatever table is currently installed and decline outside it (the chain's
+// synchronous fallback answers those). Because batched precompute is
+// bit-identical to per-job lookup regardless of batch composition
+// (core::precompute_categories' contract), chunked tables yield the same
+// hints as one whole-trace table. NOT thread-safe: swap and lookup must
+// happen on the simulation thread (streaming cells are single-threaded).
+class SwappableHintsProvider final : public CategoryProvider {
+ public:
+  explicit SwappableHintsProvider(std::string name = "window-hints")
+      : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+
+  std::optional<int> category(const trace::Job& job) override {
+    if (!hints_) return std::nullopt;
+    const auto it = hints_->find(job.job_id);
+    if (it == hints_->end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Installs the next window's table (null clears: every lookup declines).
+  void set_hints(std::shared_ptr<const CategoryHints> hints) {
+    hints_ = std::move(hints);
+  }
+
+ private:
+  std::shared_ptr<const CategoryHints> hints_;
+  std::string name_;
+};
+
 }  // namespace byom::core

@@ -391,6 +391,15 @@ std::unique_ptr<policy::PlacementPolicy> MethodFactory::make(
 PolicyContext MethodFactory::make_served_latency_context(
     const trace::Trace& test, const policy::AdaptiveConfig& adaptive,
     const MakeOptions& options) const {
+  return make_served_latency_context_impl(
+      test.start_time(), std::max<std::size_t>(1024, test.size()),
+      feature_matrix(test), adaptive, options);
+}
+
+PolicyContext MethodFactory::make_served_latency_context_impl(
+    double epoch_start, std::size_t queue_capacity,
+    features::FeatureMatrixPtr matrix, const policy::AdaptiveConfig& adaptive,
+    const MakeOptions& options) const {
   PolicyContext context;
   context.clock = std::make_shared<SimClock>();
 
@@ -401,10 +410,10 @@ PolicyContext MethodFactory::make_served_latency_context(
 
   serving::PlacementServiceConfig config;
   config.num_threads = 0;  // virtual-time mode is deterministic mode
-  config.queue_capacity = std::max<std::size_t>(1024, test.size());
+  config.queue_capacity = queue_capacity;
   config.max_batch = 256;
   config.fallback_num_categories = adaptive.num_categories;
-  config.feature_matrix = feature_matrix(test);
+  config.feature_matrix = std::move(matrix);
   config.clock = context.clock;
   config.latency_model =
       options.hint_latency > 0.0
@@ -428,7 +437,7 @@ PolicyContext MethodFactory::make_served_latency_context(
 
   if (options.retrain_period > 0.0) {
     core::StalenessConfig staleness;
-    staleness.epoch_start = test.start_time();
+    staleness.epoch_start = epoch_start;
     staleness.retrain_period = options.retrain_period;
     staleness.half_life = options.staleness_half_life > 0.0
                               ? options.staleness_half_life
@@ -526,6 +535,85 @@ PolicyContext MethodFactory::make_context(MethodId id,
     }
   }
   throw std::invalid_argument("MethodFactory::make_context: unknown method");
+}
+
+StreamingCell MethodFactory::make_streaming_cell(
+    MethodId id, const trace::TraceSummary& summary, std::size_t chunk_jobs,
+    std::uint64_t ssd_capacity_bytes, const MakeOptions& options) const {
+  const policy::AdaptiveConfig& adaptive =
+      options.adaptive.has_value() ? *options.adaptive : adaptive_config_;
+  const std::size_t queue_capacity =
+      std::max<std::size_t>(1024, 2 * chunk_jobs);
+  StreamingCell cell;
+  switch (id) {
+    case MethodId::kOracleTco:
+    case MethodId::kOracleTcio:
+      // Clairvoyant by definition: the greedy solve ranks the whole test
+      // trace. The driver materializes and runs the regular cell.
+      cell.needs_materialized = true;
+      return cell;
+    case MethodId::kAdaptiveRanking: {
+      if (!uses_custom_backends(options)) break;  // per-job model inference
+      // The windowed equivalent of the registry-batched hint table: the
+      // driver precomputes each chunk through cell.registry and swaps the
+      // table into cell.window_hints; the sync registry provider answers
+      // any job outside the current window. Chunked precompute is
+      // bit-identical to the whole-trace table (batch-composition
+      // independence of precompute_categories).
+      cell.registry = make_registry(options);
+      cell.window_hints = std::make_shared<core::SwappableHintsProvider>(
+          "registry-windowed");
+      cell.num_categories = adaptive.num_categories;
+      core::CategoryProviderPtr provider = core::make_fallback_chain(
+          {cell.window_hints, core::make_registry_provider(cell.registry)});
+      if (options.hint_noise > 0.0) {
+        provider = core::make_noisy_provider(std::move(provider),
+                                             options.hint_noise,
+                                             options.noise_seed,
+                                             adaptive.num_categories);
+      }
+      cell.context.policy = std::make_unique<policy::AdaptiveCategoryPolicy>(
+          method_name(id), std::move(provider), adaptive);
+      return cell;
+    }
+    case MethodId::kAdaptiveServed: {
+      // The offline serving loop fed chunk by chunk instead of one
+      // enqueue_all over the test trace. No shared feature matrix: the
+      // service extracts per job (bit-identical by the fallback contract);
+      // the queue is sized so a full window always fits.
+      auto registry = make_registry(options);
+      serving::PlacementServiceConfig config;
+      config.num_threads = 0;  // deterministic mode
+      config.queue_capacity = queue_capacity;
+      config.max_batch = 256;
+      config.fallback_num_categories = adaptive.num_categories;
+      cell.window_enqueue = std::make_shared<serving::PlacementService>(
+          registry, config);
+      core::CategoryProviderPtr provider = core::make_fallback_chain(
+          {serving::make_served_provider(cell.window_enqueue),
+           core::make_registry_provider(std::move(registry))});
+      if (options.hint_noise > 0.0) {
+        provider = core::make_noisy_provider(std::move(provider),
+                                             options.hint_noise,
+                                             options.noise_seed,
+                                             adaptive.num_categories);
+      }
+      cell.context.policy = std::make_unique<policy::AdaptiveCategoryPolicy>(
+          method_name(id), std::move(provider), adaptive);
+      return cell;
+    }
+    case MethodId::kAdaptiveServedLatency:
+      cell.context = make_served_latency_context_impl(
+          summary.start_time, queue_capacity, nullptr, adaptive, options);
+      return cell;
+    default:
+      break;
+  }
+  // Everything else never reads the test trace at build time: train-only
+  // artifacts (Heuristic, MLBaseline), hash/model inference per job.
+  const trace::Trace empty_test(0, {});
+  cell.context = make_context(id, empty_test, ssd_capacity_bytes, options);
+  return cell;
 }
 
 SimResult run_method(const MethodFactory& factory, MethodId id,

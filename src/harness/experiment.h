@@ -46,6 +46,7 @@
 #include "sim/sim_clock.h"
 #include "sim/simulator.h"
 #include "trace/generator.h"
+#include "trace/job_stream.h"
 #include "trace/trace.h"
 
 namespace byom::sim {
@@ -133,6 +134,26 @@ struct PolicyContext {
   std::shared_ptr<core::ShardedModelRegistry> registry;
 };
 
+// A streaming simulation cell (harness/streaming.h): the policy context
+// plus the window hooks the chunked driver fires at each chunk boundary.
+// Built from a TraceSummary pre-pass instead of a materialized test trace.
+struct StreamingCell {
+  PolicyContext context;
+  // Clairvoyant methods (the oracles) cannot stream — their solve reads
+  // the whole test trace by definition. The driver materializes the stream
+  // and runs the regular cell instead; everything else stays O(window).
+  bool needs_materialized = false;
+  // Custom-backend ranking: the driver precomputes each chunk's hints
+  // (through a chunk-sized FeatureMatrix) and swaps the table in here.
+  std::shared_ptr<core::SwappableHintsProvider> window_hints;
+  // Offline-served cells: each chunk's jobs enqueue here before replay
+  // (the streaming equivalent of enqueue_all over the test trace).
+  std::shared_ptr<serving::PlacementService> window_enqueue;
+  // Registry behind window_hints' precompute (null when unused).
+  std::shared_ptr<core::ShardedModelRegistry> registry;
+  int num_categories = 0;  // precompute width for window_hints
+};
+
 // Trains/caches per-cluster artifacts and manufactures policies.
 class MethodFactory {
  public:
@@ -161,6 +182,16 @@ class MethodFactory {
   PolicyContext make_context(MethodId id, const trace::Trace& test,
                              std::uint64_t ssd_capacity_bytes,
                              const MakeOptions& options) const;
+  // The streaming-cell variant: built from a TraceSummary pre-pass, never
+  // touching a materialized test trace. Serving-backed methods size their
+  // queues from `chunk_jobs` and extract features per job (bit-identical
+  // to the shared-matrix path); run_method_streaming (harness/streaming.h)
+  // drives the returned hooks.
+  StreamingCell make_streaming_cell(MethodId id,
+                                    const trace::TraceSummary& summary,
+                                    std::size_t chunk_jobs,
+                                    std::uint64_t ssd_capacity_bytes,
+                                    const MakeOptions& options) const;
 
   // Lazily trained category model (shared across makes; thread-safe, so
   // parallel experiment cells can share one factory).
@@ -248,6 +279,15 @@ class MethodFactory {
   // kAdaptiveServedLatency cell.
   PolicyContext make_served_latency_context(
       const trace::Trace& test, const policy::AdaptiveConfig& adaptive,
+      const MakeOptions& options) const;
+  // Shared body: materialized cells pass the test trace's horizon, size,
+  // and shared feature matrix; streaming cells pass summary-derived values
+  // and a null matrix (the service then extracts features per job —
+  // bit-identical by the FeatureMatrix fallback contract).
+  PolicyContext make_served_latency_context_impl(
+      double epoch_start, std::size_t queue_capacity,
+      features::FeatureMatrixPtr matrix,
+      const policy::AdaptiveConfig& adaptive,
       const MakeOptions& options) const;
   // The shared BackendConfig backends are trained with.
   core::BackendConfig backend_config() const;

@@ -29,7 +29,13 @@ namespace byom::core {
 class StalenessSchedule;  // core/staleness.h
 }  // namespace byom::core
 
+namespace byom::trace {
+class JobStream;  // trace/job_stream.h
+}  // namespace byom::trace
+
 namespace byom::sim {
+
+class CounterSink;  // sim/soak_counters.h
 
 struct SimConfig {
   std::uint64_t ssd_capacity_bytes = 0;
@@ -50,6 +56,34 @@ struct SimConfig {
   // Retraining cadence: the engine schedules one retrain event per period
   // on the timeline (SimClock::kRetrainPriority) and counts them.
   std::shared_ptr<core::StalenessSchedule> staleness;
+
+  // --- streaming-run extensions (the JobStream overload below) ---
+  // Retrain-scheduling window for streamed runs, where the trace horizon
+  // cannot be read off a materialized Trace. Fill from a TraceSummary
+  // pre-pass (start_time / end_time); the Trace overload fills them from
+  // the trace itself. With both zero and no arrivals, no retrains fire.
+  double horizon_start = 0.0;
+  double horizon_end = 0.0;
+  // Pre-sizing hint for streamed runs (event arena, outcome reserve). The
+  // Trace overload uses the trace size; 0 falls back to the stream's
+  // size_hint().
+  std::size_t expected_jobs = 0;
+
+  // Per-virtual-period counter rows (sim/soak_counters.h): every
+  // counter_period seconds of virtual time the engine closes a window and
+  // emits one CounterRow of deltas to counter_sink. 0 / null disables.
+  // Emission only reads engine state — enabling counters never changes the
+  // SimResult.
+  double counter_period = 0.0;
+  CounterSink* counter_sink = nullptr;
+
+  // Submit-ahead mode: issue each job's inference request at
+  // arrival_time - min(job.hint_lead, max_hint_lead) instead of at the
+  // arrival event, so hint on-time fractions derive from trace-carried
+  // scheduler lead times. Requires hint_service; off by default — submit
+  // at arrival is the bit-identity baseline regime.
+  bool use_trace_leads = false;
+  double max_hint_lead = 7200.0;  // clamp on per-job leads (seconds)
 };
 
 struct JobOutcome {
@@ -94,8 +128,19 @@ struct SimResult {
 };
 
 // Replays `trace` (jobs must be sorted by arrival; Trace guarantees this)
-// against `policy` under `config` on the event-driven engine.
+// against `policy` under `config` on the event-driven engine. Delegates to
+// the JobStream overload through a MaterializedStream — one engine code
+// path serves both worlds, which is what makes streamed and materialized
+// replays bit-identical by construction.
 SimResult simulate(const trace::Trace& trace, policy::PlacementPolicy& policy,
+                   const SimConfig& config);
+
+// Pulls arrivals one at a time from `stream` (arrival-ordered, single
+// pass) instead of walking a materialized trace: peak memory is the
+// stream's window, not the trace. Consumes the stream. Set
+// config.horizon_start/horizon_end (retrain window) and expected_jobs
+// from a TraceSummary pre-pass when the backing store can't provide them.
+SimResult simulate(trace::JobStream& stream, policy::PlacementPolicy& policy,
                    const SimConfig& config);
 
 // The pre-event-engine synchronous replay: a tight per-job loop with every

@@ -1,7 +1,6 @@
 #include "trace/generator.h"
 
 #include <algorithm>
-#include <cmath>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -9,311 +8,62 @@
 #include "common/rng.h"
 #include "common/time_util.h"
 #include "common/units.h"
+#include "trace/generator_detail.h"
 
 namespace byom::trace {
 
-namespace {
-
 using common::Rng;
 
-// Step operation names; these become the `username` metadata value per paper
-// Table 3 ("GroupByKey-22") and part of step_name.
-const char* const kStepOps[] = {"GroupByKey", "JoinByKey", "CoGroup",
-                                "SortValues", "CombinePerKey"};
-constexpr int kNumStepOps = 5;
-
-const char* const kTeams[] = {"adslogs",  "searchidx", "mlinfra", "vidpipe",
-                              "dbexport", "simfarm",   "geodata", "payments",
-                              "translate", "weather"};
-constexpr int kNumTeams = 10;
-
-// One recurring pipeline: stable identity plus pipeline-level multipliers
-// that make executions of the same pipeline self-similar.
-struct PipelineState {
-  const Archetype* arch = nullptr;
-  int index = 0;
-  std::string owner;          // owning user (for the Figure 10 experiments)
-  std::string team;
-  std::string pipeline_name;
-  std::string execution_name;
-  std::string build_target;
-  int num_steps = 1;
-  std::vector<std::string> step_names;
-  std::vector<std::string> step_usernames;
-  // Pipeline-stable log-space tilts.
-  double size_mult = 1.0;
-  double lifetime_mult = 1.0;
-  double read_block_mult = 1.0;
-  double write_block_mult = 1.0;
-  double read_ratio_mult = 1.0;
-  double cache_tilt = 0.0;
-  double period = 3600.0;
-  // Active window: workloads arrive and leave at a high rate in production
-  // (paper section 1); ~45% of pipelines start mid-trace and ~25% retire
-  // early, so admission policies keyed on historical job identity go stale.
-  double active_from = 0.0;
-  double active_until = 1e18;
-  int preferred_hour = 0;
-  double worker_threads = 8;
-  double buckets_per_worker = 4;
-  double shards_per_bucket = 2;
-};
-
-// Chronological history accumulator per job_key. Only executions that have
-// already *started* contribute (the paper's traces likewise surface history
-// from prior runs; we add measurement noise on each observation).
-struct HistoryAccumulator {
-  double sum_tcio = 0, sum_size = 0, sum_lifetime = 0, sum_density = 0;
-  int n = 0;
-
-  HistoricalMetrics snapshot() const {
-    HistoricalMetrics h;
-    if (n == 0) return h;
-    const double inv = 1.0 / n;
-    h.average_tcio = sum_tcio * inv;
-    h.average_size = sum_size * inv;
-    h.average_lifetime = sum_lifetime * inv;
-    h.average_io_density = sum_density * inv;
-    return h;
-  }
-
-  void add(const Job& j, double noise, Rng& rng) {
-    auto jitter = [&](double v) {
-      return std::max(0.0, v * (1.0 + noise * rng.normal()));
-    };
-    sum_tcio += jitter(j.tcio_hdd);
-    sum_size += jitter(static_cast<double>(j.peak_bytes));
-    sum_lifetime += jitter(j.lifetime);
-    sum_density += jitter(j.io_density);
-    ++n;
-  }
-};
-
-std::vector<double> default_weights() {
-  std::vector<double> w(static_cast<std::size_t>(ArchetypeId::kCount), 0.0);
-  w[static_cast<int>(ArchetypeId::kStreamingShuffle)] = 0.24;
-  w[static_cast<int>(ArchetypeId::kDbQuery)] = 0.18;
-  w[static_cast<int>(ArchetypeId::kLogProcessing)] = 0.22;
-  w[static_cast<int>(ArchetypeId::kSimulation)] = 0.14;
-  w[static_cast<int>(ArchetypeId::kVideoProcessing)] = 0.10;
-  w[static_cast<int>(ArchetypeId::kMlCheckpoint)] = 0.12;
-  return w;
-}
-
-int pick_weighted(const std::vector<double>& weights, Rng& rng) {
-  double total = 0.0;
-  for (double w : weights) total += w;
-  double r = rng.uniform() * total;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    r -= weights[i];
-    if (r <= 0.0) return static_cast<int>(i);
-  }
-  return static_cast<int>(weights.size()) - 1;
-}
-
-PipelineState make_pipeline(const GeneratorConfig& config, int index,
-                            const Archetype& arch, Rng& rng) {
-  PipelineState p;
-  p.arch = &arch;
-  p.index = index;
-  p.team = kTeams[rng.uniform_index(kNumTeams)];
-  // Zipf-ish owner assignment: low user ids own more pipelines, giving the
-  // "largest / second-largest TCO user" structure Figure 10 needs.
-  const int user_rank = static_cast<int>(
-      std::floor(std::pow(rng.uniform(), 1.7) * config.num_users));
-  p.owner = "user" + std::to_string(std::min(user_rank, config.num_users - 1)) +
-            "_" + p.team;
-  const std::string pidx = std::to_string(index);
-  p.pipeline_name =
-      "org_" + p.team + "." + arch.name + "-p" + pidx + "-prod.dataimporter";
-  p.execution_name =
-      "com." + p.team + "." + arch.name + ".p" + pidx + ".launcher.Main";
-  p.build_target = "//" + p.team + "/" + arch.name + "/pipelines:p" + pidx +
-                   "_main";
-  p.num_steps = 1 + static_cast<int>(rng.uniform_index(3));
-  for (int s = 0; s < p.num_steps; ++s) {
-    const char* op = kStepOps[rng.uniform_index(kNumStepOps)];
-    p.step_names.push_back(std::string(op) + "-shuffle" + std::to_string(s) +
-                           "-p" + pidx);
-    p.step_usernames.push_back(std::string(op) + "-" +
-                               std::to_string(rng.uniform_index(40)));
-  }
-  p.size_mult = rng.lognormal(0.0, 0.5);
-  p.lifetime_mult = rng.lognormal(0.0, 0.4);
-  p.read_block_mult = rng.lognormal(0.0, 0.65);
-  p.write_block_mult = rng.lognormal(0.0, 0.3);
-  p.read_ratio_mult = rng.lognormal(0.0, 0.45);
-  p.cache_tilt = rng.normal(0.0, 0.05);
-  p.period = std::max(600.0, arch.period_mean * rng.lognormal(0.0, 0.3));
-  p.preferred_hour = static_cast<int>(rng.uniform_index(24));
-  p.worker_threads = 4.0 + static_cast<double>(rng.uniform_index(13));
-  p.buckets_per_worker = rng.uniform(2.0, 8.0);
-  p.shards_per_bucket = rng.uniform(1.0, 4.0);
-  if (rng.bernoulli(0.45)) {
-    p.active_from = rng.uniform(0.15, 0.95) * config.duration;
-  }
-  if (rng.bernoulli(0.25)) {
-    p.active_until = p.active_from +
-                     rng.uniform(0.3, 0.9) * (config.duration - p.active_from);
-  }
-  return p;
-}
-
-// One (pipeline, step) execution instance scheduled at `t`.
-struct PlannedJob {
-  double t = 0.0;
-  const PipelineState* pipeline = nullptr;
-  int step = 0;
-};
-
-Job synthesize_job(const GeneratorConfig& config, const PipelineState& p,
-                   int step, double t, std::uint64_t job_id,
-                   const cost::CostModel& model, Rng& rng) {
-  const Archetype& a = *p.arch;
-  const double noise = config.job_noise;
-
-  Job j;
-  j.job_id = job_id;
-  j.cluster_id = config.cluster_id;
-  j.pipeline_name = p.pipeline_name;
-  j.execution_name = p.execution_name;
-  j.build_target_name = p.build_target;
-  j.step_name = p.step_names[static_cast<std::size_t>(step)];
-  j.user_name = p.step_usernames[static_cast<std::size_t>(step)];
-  j.job_key = p.pipeline_name + "/" + j.step_name;
-  j.owner = p.owner;
-  j.framework_workload = a.framework;
-  j.arrival_time = t;
-
-  // Size and lifetime: archetype base x pipeline tilt x per-job noise.
-  const double size = std::exp(a.size_mu) * p.size_mult *
-                      rng.lognormal(0.0, a.size_sigma * 0.7) *
-                      rng.lognormal(0.0, noise);
-  j.peak_bytes = static_cast<std::uint64_t>(
-      std::clamp(size, 1.0 * static_cast<double>(common::kMiB), 4e13));
-  j.lifetime = std::clamp(std::exp(a.lifetime_mu) * p.lifetime_mult *
-                              rng.lognormal(0.0, a.lifetime_sigma * 0.7) *
-                              rng.lognormal(0.0, noise),
-                          5.0, 14.0 * common::kSecondsPerDay);
-
-  // I/O profile.
-  const double wr = a.write_ratio * rng.lognormal(0.0, 0.2);
-  const double rr =
-      a.read_ratio * p.read_ratio_mult * rng.lognormal(0.0, 0.18);
-  j.io.bytes_written = static_cast<std::uint64_t>(
-      static_cast<double>(j.peak_bytes) * std::max(0.05, wr));
-  j.io.bytes_read = static_cast<std::uint64_t>(
-      static_cast<double>(j.peak_bytes) * std::max(0.0, rr));
-  j.io.avg_read_block = std::exp(a.read_block_mu) * p.read_block_mult *
-                        rng.lognormal(0.0, a.read_block_sigma * 0.35);
-  j.io.avg_write_block = std::exp(a.write_block_mu) * p.write_block_mult *
-                         rng.lognormal(0.0, a.write_block_sigma);
-  j.io.dram_cache_hit_fraction =
-      std::clamp(a.cache_hit_mean + p.cache_tilt + rng.normal(0.0, 0.05),
-                 0.0, 0.9);
-
-  // Allocated resources, correlated with size/records (feature group C).
-  const double workers = std::clamp(
-      static_cast<double>(j.peak_bytes) /
-          (512.0 * static_cast<double>(common::kMiB)) *
-          rng.lognormal(0.0, 0.4),
-      1.0, 2000.0);
-  auto& r = j.resources;
-  r.bucket_sizing_num_workers = static_cast<std::int64_t>(workers);
-  r.bucket_sizing_num_worker_threads =
-      static_cast<std::int64_t>(p.worker_threads);
-  r.initial_num_buckets = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(workers * p.buckets_per_worker));
-  r.num_buckets = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(static_cast<double>(r.initial_num_buckets) *
-                                   rng.uniform(0.8, 1.3)));
-  r.requested_num_shards = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(static_cast<double>(r.num_buckets) *
-                                   p.shards_per_bucket));
-  r.bucket_sizing_num_shards = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(
-             static_cast<double>(r.requested_num_shards) *
-             rng.uniform(0.9, 1.1)));
-  r.bucket_sizing_initial_num_stripes =
-      8 + static_cast<std::int64_t>(rng.uniform_index(57));
-  r.records_written = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(static_cast<double>(j.io.bytes_written) /
-                                   (a.record_bytes *
-                                    rng.lognormal(0.0, 0.2))));
-
-  j.compute_costs(model);
-  return j;
-}
-
-}  // namespace
-
+// The materializing generation path. All distribution draws live in
+// trace/generator_detail.h, shared with the chunked GeneratedStream
+// (trace/job_stream.cc) whose contract is byte-for-byte equality with the
+// trace built here — see the draw-order contract at the top of that header.
 Trace generate_cluster_trace(const GeneratorConfig& config) {
-  if (config.num_pipelines <= 0) {
-    throw std::invalid_argument("num_pipelines must be positive");
-  }
+  const std::vector<double> weights = detail::resolve_weights(config);
   const auto& catalog = archetype_catalog();
-  std::vector<double> weights = config.archetype_weights.empty()
-                                    ? default_weights()
-                                    : config.archetype_weights;
-  if (weights.size() != catalog.size()) {
-    throw std::invalid_argument("archetype_weights size mismatch");
-  }
 
-  Rng rng(config.seed ^ (0xC1u + config.cluster_id * 0x9E3779B9u));
+  Rng rng = detail::root_rng(config);
   const cost::CostModel model(config.rates);
 
   // 1. Create pipelines.
-  std::vector<PipelineState> pipelines;
+  std::vector<detail::PipelineState> pipelines;
   pipelines.reserve(static_cast<std::size_t>(config.num_pipelines));
   for (int i = 0; i < config.num_pipelines; ++i) {
-    const int arch_idx = pick_weighted(weights, rng);
-    pipelines.push_back(make_pipeline(
+    const int arch_idx = detail::pick_weighted(weights, rng);
+    pipelines.push_back(detail::make_pipeline(
         config, i, catalog[static_cast<std::size_t>(arch_idx)], rng));
   }
 
   // 2. Plan executions chronologically.
-  std::vector<PlannedJob> plan;
+  std::vector<detail::PlannedJob> plan;
   for (const auto& p : pipelines) {
-    Rng prng = rng.fork(common::fnv1a(p.pipeline_name));
-    double t = p.active_from + prng.uniform(0.0, p.period);
-    while (t < std::min(config.duration, p.active_until)) {
-      double exec_t = t;
-      // Diurnal concentration: pull a fraction of executions toward the
-      // pipeline's preferred hour (paper Figure 1-style periodicity).
-      if (prng.bernoulli(p.arch->diurnal_concentration)) {
-        const double day = std::floor(exec_t / common::kSecondsPerDay);
-        exec_t = day * common::kSecondsPerDay +
-                 p.preferred_hour * common::kSecondsPerHour +
-                 prng.uniform(0.0, 1800.0);
-      }
-      if (exec_t >= 0.0 && exec_t < config.duration) {
-        const int njobs = std::max(
-            1, static_cast<int>(std::lround(p.arch->jobs_per_execution *
-                                            prng.lognormal(0.0, 0.3))));
-        for (int k = 0; k < njobs; ++k) {
-          const int step = static_cast<int>(prng.uniform_index(
-              static_cast<std::uint64_t>(p.num_steps)));
-          plan.push_back(
-              {exec_t + prng.uniform(0.0, 120.0), &p, step});
-        }
-      }
-      t += std::max(300.0, p.period * prng.lognormal(0.0, 0.2));
+    detail::PipelinePlanner planner(&config, &p,
+                                    rng.fork(common::fnv1a(p.pipeline_name)));
+    while (!planner.done()) {
+      planner.advance(
+          [&](const detail::PlannedJob& job) { plan.push_back(job); });
     }
   }
-  std::sort(plan.begin(), plan.end(),
-            [](const PlannedJob& a, const PlannedJob& b) { return a.t < b.t; });
+  // Stable sort: plan order is pipeline-major with in-pipeline planning
+  // order, so ties at equal t resolve to (pipeline index, planning seq) —
+  // the same well-defined order GeneratedStream's k-way merge produces.
+  std::stable_sort(
+      plan.begin(), plan.end(),
+      [](const detail::PlannedJob& a, const detail::PlannedJob& b) {
+        return a.t < b.t;
+      });
 
   // 3. Synthesize jobs in arrival order, attaching history snapshots before
   //    folding each job's own measurements in.
-  std::map<std::string, HistoryAccumulator> history;
+  std::map<std::string, detail::HistoryAccumulator> history;
   std::vector<Job> jobs;
   jobs.reserve(plan.size());
-  std::uint64_t next_id =
-      (static_cast<std::uint64_t>(config.cluster_id) << 40) + 1;
-  Rng jrng = rng.fork(0x0B5ULL);
+  std::uint64_t next_id = detail::first_job_id(config);
+  Rng jrng = rng.fork(detail::kSynthesisSalt);
   for (const auto& planned : plan) {
-    Job j = synthesize_job(config, *planned.pipeline, planned.step, planned.t,
-                           next_id++, model, jrng);
+    Job j;
+    detail::synthesize_job_into(j, config, *planned.pipeline, planned.step,
+                                planned.t, next_id++, model, jrng);
     auto& acc = history[j.job_key];
     j.history = acc.snapshot();
     acc.add(j, config.history_noise, jrng);

@@ -41,6 +41,11 @@ struct GeneratorConfig {
   // Larger values make the learning problem harder (paper's 15-class top-1
   // accuracy is ~0.36; the default reproduces that regime).
   double job_noise = 0.28;
+  // Scales the trace-driven submit-to-arrival lead (Job::hint_lead): the
+  // cluster scheduler knows a recurring execution ~2-12% of its pipeline's
+  // period ahead of its arrival. The lead is a pure hash of the job id
+  // (draw-free, so it changes no other trace bytes); 0 emits zero leads.
+  double hint_lead_scale = 1.0;
   cost::Rates rates;
 };
 

@@ -60,6 +60,12 @@ struct Job {
   // --- timing ---
   double arrival_time = 0.0;  // seconds since simulation epoch (a Monday 0:00)
   double lifetime = 0.0;      // seconds
+  // Submit-to-arrival lead: how far before arrival_time the scheduler knew
+  // this execution was coming (trace structure, not a tuning knob). The
+  // simulator's submit-ahead mode issues the job's inference request at
+  // arrival_time - hint_lead, so hint on-time fractions derive from the
+  // trace rather than from a global wait budget. 0 = submit at arrival.
+  double hint_lead = 0.0;
   double end_time() const { return arrival_time + lifetime; }
 
   // --- space ---

@@ -1,0 +1,136 @@
+#include "trace/job_stream.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+namespace byom::trace {
+
+GeneratedStream::GeneratedStream(const GeneratorConfig& config,
+                                 std::size_t chunk_jobs)
+    : config_(config),
+      model_(config.rates),
+      jrng_(0),
+      next_id_(detail::first_job_id(config)) {
+  const std::vector<double> weights = detail::resolve_weights(config_);
+  const auto& catalog = archetype_catalog();
+
+  common::Rng rng = detail::root_rng(config_);
+
+  // 1. Create pipelines — same sequential draws as the materialized path.
+  // Planners hold PipelineState pointers, so the vector must never
+  // reallocate: reserve the final size up front.
+  const auto num = static_cast<std::size_t>(config_.num_pipelines);
+  pipelines_.reserve(num);
+  for (int i = 0; i < config_.num_pipelines; ++i) {
+    const int arch_idx = detail::pick_weighted(weights, rng);
+    pipelines_.push_back(detail::make_pipeline(
+        config_, i, catalog[static_cast<std::size_t>(arch_idx)], rng));
+  }
+
+  // 2. One incremental planner per pipeline, each on its own forked RNG
+  // (fork is const, so planner creation consumes no root draws).
+  planners_.reserve(num);
+  plan_seq_.assign(num, 0);
+  for (const auto& p : pipelines_) {
+    planners_.emplace_back(&config_, &p,
+                           rng.fork(common::fnv1a(p.pipeline_name)));
+  }
+
+  // 3. Synthesis draws from the shared fork, in global arrival order.
+  jrng_ = rng.fork(detail::kSynthesisSalt);
+
+  chunk_.resize(std::max<std::size_t>(1, chunk_jobs));
+}
+
+void GeneratedStream::fill_window() {
+  for (;;) {
+    // Find the laggard: the live planner with the smallest cursor. Only it
+    // can still plan a job at or before pending_.top().t + the bound.
+    double min_cursor = std::numeric_limits<double>::infinity();
+    std::size_t min_idx = pipelines_.size();
+    for (std::size_t i = 0; i < planners_.size(); ++i) {
+      if (planners_[i].done()) continue;
+      if (planners_[i].cursor() < min_cursor) {
+        min_cursor = planners_[i].cursor();
+        min_idx = i;
+      }
+    }
+    if (min_idx == pipelines_.size()) return;  // all planners exhausted
+    if (!pending_.empty() &&
+        min_cursor > pending_.top().t + detail::kPlanReorderBound) {
+      return;  // merge front is safe: nobody can still plan at or before it
+    }
+    planners_[min_idx].advance([&](const detail::PlannedJob& pj) {
+      pending_.push(PendingJob{pj.t, static_cast<std::uint32_t>(min_idx),
+                               plan_seq_[min_idx]++, pj.step});
+    });
+  }
+}
+
+void GeneratedStream::refill() {
+  pos_ = 0;
+  filled_ = 0;
+  while (filled_ < chunk_.size()) {
+    // Each pop raises the merge front, so re-establish safety every time.
+    fill_window();
+    if (pending_.empty()) break;  // end of stream
+    const PendingJob top = pending_.top();
+    pending_.pop();
+    Job& j = chunk_[filled_++];
+    detail::synthesize_job_into(j, config_, pipelines_[top.pipeline],
+                                top.step, top.t, next_id_++, model_, jrng_);
+    auto& acc = history_[j.job_key];
+    j.history = acc.snapshot();
+    acc.add(j, config_.history_noise, jrng_);
+  }
+}
+
+TraceSummary summarize(JobStream& stream) {
+  TraceSummary s;
+  // Min-heap of (end time, footprint) for live jobs; `running` mirrors the
+  // IntervalSeries event sweep Trace::peak_concurrent_bytes runs, processing
+  // the same +/- deltas in the same time order.
+  struct LiveJob {
+    double end = 0.0;
+    double bytes = 0.0;
+    bool operator>(const LiveJob& other) const { return end > other.end; }
+  };
+  std::priority_queue<LiveJob, std::vector<LiveJob>, std::greater<LiveJob>>
+      live;
+  double running = 0.0;
+  double peak = 0.0;
+  while (const Job* j = stream.next()) {
+    if (s.job_count == 0) s.start_time = j->arrival_time;
+    ++s.job_count;
+    const double end = j->end_time();
+    s.end_time = std::max(s.end_time, end);
+    s.total_cost_all_hdd += j->cost_hdd;
+    const double t0 = j->arrival_time;
+    const double v = static_cast<double>(j->peak_bytes);
+    // Same degenerate-interval skip as IntervalSeries::add.
+    if (!(end > t0) || v == 0.0) continue;
+    while (!live.empty() && live.top().end <= t0) {
+      running -= live.top().bytes;
+      live.pop();
+    }
+    running += v;
+    live.push(LiveJob{end, v});
+    peak = std::max(peak, running);
+  }
+  s.peak_concurrent_bytes = static_cast<std::uint64_t>(peak);
+  return s;
+}
+
+TraceSummary summarize(const Trace& trace) {
+  MaterializedStream stream(trace);
+  return summarize(stream);
+}
+
+TraceSummary summarize_generated(const GeneratorConfig& config, double from) {
+  GeneratedStream stream(config);
+  SkipUntilStream filtered(stream, from);
+  return summarize(filtered);
+}
+
+}  // namespace byom::trace

@@ -1,0 +1,193 @@
+// Pull-based job streams: the bounded-memory alternative to materializing a
+// whole Trace before replaying it.
+//
+// The simulator consumes arrivals through the JobStream interface one job at
+// a time; what backs the stream decides the memory profile:
+//
+//   MaterializedStream   borrows an existing Trace (the bit-identity bridge
+//                        between the two worlds; zero copies, zero allocs).
+//   GeneratedStream      produces the *exact same job sequence* as
+//                        generate_cluster_trace chunk by chunk: per-pipeline
+//                        planners advance lazily behind a bounded lookahead
+//                        window (detail::kPlanReorderBound), a k-way merge
+//                        orders planned jobs, and synthesis draws from the
+//                        same forked RNGs in the same order — so peak memory
+//                        is O(window + pipelines), not O(trace), while the
+//                        bytes are identical (pinned by stream_test).
+//
+// TraceSummary is the O(window)-memory pre-pass companion: job count,
+// horizon, and peak_concurrent_bytes (what SSD quota fractions are defined
+// against) computed from one streaming pass, so a simulation cell can be
+// configured without ever materializing the trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "trace/generator.h"
+#include "trace/generator_detail.h"
+#include "trace/trace.h"
+
+namespace byom::trace {
+
+// O(1)-state facts about a job sequence, computable in one streaming pass
+// (summarize below). Field semantics match the Trace accessors of the same
+// names exactly — EXPECT_EQ-equal on the materialized trace.
+struct TraceSummary {
+  std::size_t job_count = 0;
+  double start_time = 0.0;  // first arrival (Trace::start_time)
+  double end_time = 0.0;    // latest job end (Trace::end_time)
+  // Peak of the sum of peak_bytes over concurrently live jobs
+  // (Trace::peak_concurrent_bytes; what quota fractions divide).
+  std::uint64_t peak_concurrent_bytes = 0;
+  double total_cost_all_hdd = 0.0;  // Trace::total_cost_all_hdd
+};
+
+// A time-ordered job sequence consumed one job at a time. Streams are
+// single-pass: construct a fresh one to replay again.
+class JobStream {
+ public:
+  virtual ~JobStream() = default;
+
+  // The next job in arrival order, or nullptr at end of stream. The
+  // pointed-to Job is owned by the stream and stays valid only until the
+  // next call (implementations recycle buffers); callers needing the job
+  // past that point must copy it.
+  virtual const Job* next() = 0;
+
+  // Known or estimated total job count (pre-sizing hint; 0 = unknown).
+  virtual std::size_t size_hint() const { return 0; }
+
+  virtual std::uint32_t cluster_id() const = 0;
+};
+
+// Adapter over an existing materialized Trace. Borrows the trace — the
+// caller keeps it alive for the stream's lifetime. next() is an index
+// advance into the trace's own storage: no copies, no allocations.
+class MaterializedStream final : public JobStream {
+ public:
+  explicit MaterializedStream(const Trace& trace) : trace_(&trace) {}
+
+  // hotpath: streaming replay consumes one job per call; no allocation.
+  const Job* next() override {
+    const auto& jobs = trace_->jobs();
+    return pos_ < jobs.size() ? &jobs[pos_++] : nullptr;
+  }
+
+  std::size_t size_hint() const override { return trace_->size(); }
+  std::uint32_t cluster_id() const override { return trace_->cluster_id(); }
+
+ private:
+  const Trace* trace_;
+  std::size_t pos_ = 0;
+};
+
+// Streams the byte-identical job sequence of generate_cluster_trace(config)
+// without materializing it. Jobs are synthesized into a recycled chunk of
+// `chunk_jobs` slots; within a chunk, next() is an index advance (zero
+// steady-state allocations — pinned by hotpath_test). Peak memory is the
+// chunk, the pending-plan window (kPlanReorderBound of virtual time), and
+// the per-job-key history accumulators — all O(window + pipelines).
+class GeneratedStream final : public JobStream {
+ public:
+  static constexpr std::size_t kDefaultChunkJobs = 4096;
+
+  explicit GeneratedStream(const GeneratorConfig& config,
+                           std::size_t chunk_jobs = kDefaultChunkJobs);
+
+  // hotpath: in-chunk calls advance an index into recycled slots; the
+  // refill at chunk boundaries reuses their string capacity.
+  const Job* next() override {
+    if (pos_ == filled_) refill();
+    return pos_ < filled_ ? &chunk_[pos_++] : nullptr;
+  }
+
+  std::uint32_t cluster_id() const override { return config_.cluster_id; }
+
+  // True when the next next() call crosses a chunk boundary (refills or
+  // hits end of stream). Lets tests pin the zero-allocation in-chunk
+  // contract without guessing where refills happen.
+  bool at_chunk_boundary() const { return pos_ == filled_; }
+  std::size_t chunk_jobs() const { return chunk_.size(); }
+
+ private:
+  // Merge key: planned time, then (pipeline index, in-pipeline planning
+  // seq) — the stable-sort tie order of the materialized path.
+  struct PendingJob {
+    double t = 0.0;
+    std::uint32_t pipeline = 0;
+    std::uint64_t seq = 0;
+    std::int32_t step = 0;
+    bool operator>(const PendingJob& other) const {
+      if (t != other.t) return t > other.t;
+      if (pipeline != other.pipeline) return pipeline > other.pipeline;
+      return seq > other.seq;
+    }
+  };
+
+  void refill();
+  // Advances planners until the merge front is safe to emit (every live
+  // planner's cursor is beyond top + kPlanReorderBound) or everything is
+  // exhausted.
+  void fill_window();
+
+  GeneratorConfig config_;
+  cost::CostModel model_;
+  std::vector<detail::PipelineState> pipelines_;
+  std::vector<detail::PipelinePlanner> planners_;
+  std::vector<std::uint64_t> plan_seq_;  // per-pipeline planning counters
+  std::priority_queue<PendingJob, std::vector<PendingJob>,
+                      std::greater<PendingJob>>
+      pending_;
+  std::map<std::string, detail::HistoryAccumulator> history_;
+  common::Rng jrng_;
+  std::uint64_t next_id_ = 0;
+
+  std::vector<Job> chunk_;  // recycled synthesis slots
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+};
+
+// Filter decorator: forwards jobs with arrival_time >= from, skipping the
+// prefix (Trace::slice(from, +inf) semantics). The test-split view of a
+// streaming cell: skip the training week, replay the rest.
+class SkipUntilStream final : public JobStream {
+ public:
+  SkipUntilStream(JobStream& inner, double from)
+      : inner_(&inner), from_(from) {}
+
+  // hotpath: forwards the inner stream's slot; no allocation.
+  const Job* next() override {
+    for (;;) {
+      const Job* job = inner_->next();
+      if (job == nullptr || job->arrival_time >= from_) return job;
+    }
+  }
+
+  std::size_t size_hint() const override { return inner_->size_hint(); }
+  std::uint32_t cluster_id() const override { return inner_->cluster_id(); }
+
+ private:
+  JobStream* inner_;
+  double from_;
+};
+
+// One streaming pass over `stream`, O(concurrency) memory: arrival-ordered
+// sweep with a min-heap of live job end times for the peak. Consumes the
+// stream; construct a fresh one to replay afterwards.
+TraceSummary summarize(JobStream& stream);
+
+// Convenience pre-passes.
+TraceSummary summarize(const Trace& trace);
+// Summary of generate_cluster_trace(config)'s jobs with arrival >= from
+// (the test-split view a streaming cell needs), via a private
+// GeneratedStream.
+TraceSummary summarize_generated(const GeneratorConfig& config,
+                                 double from = -1e18);
+
+}  // namespace byom::trace

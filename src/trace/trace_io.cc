@@ -21,6 +21,7 @@ const char* const kColumns[] = {
     "hist_tcio",       "hist_size",        "hist_lifetime",
     "hist_density",    "tcio_hdd",         "io_density",
     "cost_hdd",        "cost_ssd",         "framework",
+    "hint_lead",
 };
 
 double to_double(const std::string& s) {
@@ -98,6 +99,7 @@ common::CsvTable to_csv(const Trace& trace) {
     row.push_back(fmt(j.cost_hdd));
     row.push_back(fmt(j.cost_ssd));
     row.push_back(j.framework_workload ? "1" : "0");
+    row.push_back(fmt(j.hint_lead));
     table.rows.push_back(std::move(row));
   }
   return table;
@@ -107,13 +109,26 @@ Trace from_csv(const common::CsvTable& table) {
   std::vector<Job> jobs;
   jobs.reserve(table.rows.size());
   // Resolve all column indices up front (throws on schema mismatch).
+  // `hint_lead` (the last column) is optional: traces exported before the
+  // lead field existed load with zero leads instead of failing.
   std::vector<std::size_t> idx;
   idx.reserve(std::size(kColumns));
-  for (const char* c : kColumns) idx.push_back(table.column(c));
+  constexpr std::size_t kNumRequired = std::size(kColumns) - 1;
+  for (std::size_t c = 0; c < kNumRequired; ++c) {
+    idx.push_back(table.column(kColumns[c]));
+  }
+  bool has_hint_lead = false;
+  for (std::size_t c = 0; c < table.header.size(); ++c) {
+    if (table.header[c] == kColumns[kNumRequired]) {
+      idx.push_back(c);
+      has_hint_lead = true;
+      break;
+    }
+  }
 
   std::uint32_t cluster_id = 0;
   for (const auto& row : table.rows) {
-    if (row.size() < std::size(kColumns)) {
+    if (row.size() < table.header.size()) {
       throw std::runtime_error("trace CSV row has too few fields");
     }
     auto f = [&](int c) -> const std::string& {
@@ -155,6 +170,7 @@ Trace from_csv(const common::CsvTable& table) {
     j.cost_hdd = to_double(f(c++));
     j.cost_ssd = to_double(f(c++));
     j.framework_workload = f(c++) == "1";
+    if (has_hint_lead) j.hint_lead = to_double(f(c++));
     cluster_id = j.cluster_id;
     jobs.push_back(std::move(j));
   }

@@ -25,6 +25,7 @@
 #include "sim/sim_clock.h"
 #include "sim/simulator.h"
 #include "trace/generator.h"
+#include "trace/job_stream.h"
 
 // ---------------------------------------------------- allocation hook
 // Counts every scalar/array heap allocation in this binary; tests sample
@@ -203,6 +204,46 @@ TEST(AllocationGuard, SingleRowScoringAndPredictAreAllocationFree) {
   EXPECT_EQ(allocations(), before)
       << "single-row compiled scoring allocated on the per-row path";
   EXPECT_GE(acc, 0);
+}
+
+TEST(AllocationGuard, MaterializedStreamScanIsAllocationFree) {
+  // The streaming replay's bit-identity bridge: a full pass over a
+  // materialized trace must be pure index advances into the trace's own
+  // storage.
+  trace::MaterializedStream stream(split().test);
+  ASSERT_NE(stream.next(), nullptr);  // warm-up (nothing to warm, by design)
+  const std::uint64_t before = allocations();
+  std::size_t count = 0;
+  while (stream.next() != nullptr) ++count;
+  EXPECT_EQ(allocations(), before)
+      << "MaterializedStream::next allocated while scanning";
+  EXPECT_EQ(count + 1, split().test.size());
+}
+
+TEST(AllocationGuard, GeneratedStreamInChunkNextIsAllocationFree) {
+  // Within a chunk, GeneratedStream::next is an index advance over recycled
+  // synthesis slots. Refills may allocate (string growth, planner windows),
+  // so the guard brackets exactly one chunk's interior: consume to a chunk
+  // boundary, cross it (refill allowed to allocate), then demand the rest
+  // of the fresh chunk allocation-free.
+  trace::GeneratorConfig cfg = trace::canonical_cluster_config(0, 9090);
+  cfg.num_pipelines = 10;
+  cfg.duration = 5.0 * 86400.0;
+  trace::GeneratedStream stream(cfg, 256);
+  while (!stream.at_chunk_boundary()) {
+    ASSERT_NE(stream.next(), nullptr);
+  }
+  ASSERT_NE(stream.next(), nullptr);  // crosses the boundary: refill happens
+  ASSERT_FALSE(stream.at_chunk_boundary());
+  const std::uint64_t before = allocations();
+  std::size_t consumed = 0;
+  while (!stream.at_chunk_boundary()) {
+    ASSERT_NE(stream.next(), nullptr);
+    ++consumed;
+  }
+  EXPECT_EQ(allocations(), before)
+      << "GeneratedStream::next allocated inside a chunk";
+  EXPECT_EQ(consumed, stream.chunk_jobs() - 1);
 }
 
 // ---------------------------------------------------- typed event engine
